@@ -1,0 +1,56 @@
+"""Ablation: rescan cadence vs hazard-flip share (§7.1.1's disagreement).
+
+The paper finds hazard flips essentially absent in organic scan data and
+speculates the disagreement with Zhu et al. (who found >50 % hazards)
+comes from measurement protocol: Zhu rescanned every sample daily, which
+captures both edges of transient episodes.  This ablation reproduces that
+explanation inside the simulator: the same population scanned organically
+vs on a forced dense daily schedule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiment import run_experiment
+from repro.core.flips import analyze_flips
+from repro.synth.scenario import dynamics_scenario
+
+from conftest import run_once, say
+
+SAMPLES = 2_500
+
+
+def _hazard_stats(interval_days: float, sigma: float,
+                  forced_reports: int | None) -> tuple[float, float]:
+    """Returns (hazards per 1000 samples, hazard share of flips)."""
+    config = dynamics_scenario(SAMPLES, seed=77).with_(
+        interval_median_days_malicious=interval_days,
+        interval_median_days_benign=interval_days,
+        interval_sigma=sigma,
+        forced_report_count=forced_reports,
+    )
+    data = run_experiment(config)
+    stats = analyze_flips(data.store.iter_sample_reports(),
+                          data.engine_names)
+    per_sample = 1000.0 * stats.total_hazards / stats.sample_count
+    share = (stats.total_hazards / stats.total_flips
+             if stats.total_flips else 0.0)
+    return per_sample, share
+
+
+def test_ablation_rescan_cadence(benchmark):
+    organic = run_once(benchmark,
+                       lambda: _hazard_stats(6.0, 1.6, None))
+    daily = _hazard_stats(1.0, 0.15, 150)
+
+    say()
+    say("Ablation: hazard flips vs rescan cadence")
+    say(f"  organic rescans (median ~6d): {organic[0]:6.2f} hazards per "
+          f"1000 samples, {organic[1]:.3%} of flips (paper: ~0%)")
+    say(f"  dense daily rescans (150x)  : {daily[0]:6.2f} hazards per "
+          "1000 samples (Zhu et al.'s protocol captures both edges of "
+          "transient FP episodes)")
+
+    # Organic scanning shows the paper's near-zero hazard share...
+    assert organic[1] < 0.02
+    # ...and dense daily rescanning captures far more transient episodes.
+    assert daily[0] > 1.8 * organic[0]

@@ -1,0 +1,30 @@
+"""Figure 1: CDF of the number of reports per sample.
+
+Paper landmarks: 88.81 % of samples have exactly one report, 99.10 % fewer
+than six, 99.90 % fewer than twenty; the tail is extreme (one sample had
+64,168 reports).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.analysis.dataset import ReportsPerSample
+from repro.analysis.rendering import render_fig1
+
+from conftest import run_once, say
+
+
+def test_fig1_reports_per_sample(benchmark, bench_paper_data):
+    result = run_once(
+        benchmark, partial(ReportsPerSample.from_store,
+                           bench_paper_data.store)
+    )
+    say()
+    say(render_fig1(result))
+
+    assert abs(result.single_report_fraction - 0.8881) < 0.04
+    assert result.under_6_fraction > 0.95
+    assert result.under_20_fraction > 0.97
+    # Heavy tail: some sample far above the median count.
+    assert result.max_reports > 20

@@ -1,0 +1,32 @@
+"""Figure 5 / Observation 3: the δ and Δ distributions over dataset S.
+
+Paper: 35.49 % of adjacent scan pairs show no AV-Rank change (so 64.5 %
+do change — variation is prevalent even between adjacent scans); per
+sample, roughly half have Δ > 2 and 90 % stay within 11, with the bulk of
+Δ in 1-17.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.analysis.dynamics import delta_distributions
+from repro.analysis.rendering import render_fig5
+
+from conftest import run_once, say
+
+
+def test_fig5_delta_distributions(benchmark, bench_data):
+    dist = run_once(
+        benchmark, partial(delta_distributions, bench_data.dataset_s)
+    )
+    say()
+    say(render_fig5(dist))
+
+    # Variation between adjacent scans is prevalent (paper: 64.5 % change).
+    assert dist.adjacent_zero_fraction < 0.60
+    # Δ concentrates low but with real mass above 2.
+    assert 0.30 < dist.overall_above_2_fraction < 0.70
+    assert dist.overall_within_11_fraction > 0.65
+    # Δ of a dynamic sample is at least 1 by construction.
+    assert dist.delta_overall_cdf.min >= 1

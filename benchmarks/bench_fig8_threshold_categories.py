@@ -1,0 +1,54 @@
+"""Figure 8 / Observation 6: white/gray/black fractions vs threshold.
+
+Paper shapes: the gray fraction never exceeds ~15 % (threshold labelling
+tolerates label dynamics); overall it rises then falls with t (max 14.92 %
+at t = 24, min 3.82 % at t = 45, below 10 % for t in 1-11 and 28-50 in the
+paper); for PE files it *grows* with t (max 16.41 % at t = 50, below 10 %
+through t = 24), so the PE-safe range is low thresholds — the paper
+recommends 1-24 for PE.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.analysis.dynamics import threshold_impact
+from repro.analysis.rendering import render_fig8
+from repro.core.recommend import recommend_threshold_ranges
+
+from conftest import run_once, say
+
+
+def test_fig8_threshold_categories(benchmark, bench_data):
+    impact = run_once(
+        benchmark, partial(threshold_impact, bench_data.dataset_s)
+    )
+    say()
+    say(render_fig8(impact))
+
+    overall_gray = [c.gray_fraction for c in impact.overall]
+    pe_gray = [c.gray_fraction for c in impact.pe_only]
+
+    # Bounded gray fractions: thresholding tolerates the dynamics.
+    assert max(overall_gray) < 0.30
+
+    # Overall: low thresholds (3-11) are safe; the curve then rises and
+    # falls again toward t=50.
+    assert max(overall_gray[2:11]) < 0.12
+    peak_t = overall_gray.index(max(overall_gray)) + 1
+    assert 12 <= peak_t <= 45
+    assert overall_gray[49] < max(overall_gray)
+
+    # PE: gray grows with t, staying small through ~20 (paper: <10 %
+    # through 24) and peaking high.
+    assert max(pe_gray[2:18]) < 0.12
+    pe_peak_t = pe_gray.index(max(pe_gray)) + 1
+    assert pe_peak_t >= 25
+    assert max(pe_gray) > max(pe_gray[:18])
+
+    # A low recommended range must exist for PE, as in the paper.
+    ranges = recommend_threshold_ranges(impact.pe_only, gray_limit=0.12)
+    assert ranges, "no safe PE threshold range found"
+    assert ranges[0].low <= 3
+    say(f"recommended PE threshold ranges: "
+          f"{', '.join(str(r) for r in ranges)} (paper: 1-24)")

@@ -1,0 +1,36 @@
+"""§6.1 / Observation 8: stabilisation of AV-Rank.
+
+Paper: only 10.9 % of samples end with an exactly constant AV-Rank (r=0),
+but allowing a small fluctuation range the share climbs steeply — 55.1 %
+(r=1), 69.58 % (2), 77.84 % (3), 83.52 % (4), 88.11 % (5) — and among
+stabilising samples more than 90 % settle within 30 days.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.analysis.rendering import render_obs8
+from repro.analysis.stabilization import avrank_stabilization_profile
+
+from conftest import run_once, say
+
+
+def test_obs8_avrank_stabilization(benchmark, bench_data):
+    profile = run_once(
+        benchmark,
+        partial(avrank_stabilization_profile, bench_data.dataset_s),
+    )
+    say()
+    say(render_obs8(profile))
+
+    fractions = [profile.stabilized_fraction(r) for r in range(6)]
+    # Monotone in the fluctuation range.
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    # Exact constancy is the exception; small-range stability the rule.
+    assert fractions[0] < 0.45                # paper: 10.9 %
+    assert fractions[1] > 2 * fractions[0] or fractions[1] > 0.45
+    assert fractions[5] > 0.75                # paper: 88.11 %
+    # Most stabilising samples settle within a month.
+    assert profile.within_30_days(1) > 0.55   # paper: 90.36 %
+    assert profile.within_30_days(5) > 0.60   # paper: 95.68 %

@@ -1,0 +1,41 @@
+"""Robustness: the reproduced headline statistics across seeds.
+
+Every number in EXPERIMENTS.md comes from one seed; this bench sweeps
+several seeds at a smaller scale and checks the headline statistics stay
+in a narrow band — the reproduction is a property of the model, not of a
+lucky draw.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.analysis.sweeps import sweep_seeds
+from repro.synth.scenario import dynamics_scenario
+
+from conftest import run_once, say
+
+SEEDS = (1, 2, 3, 4)
+SAMPLES = 2_500
+
+
+def test_seed_robustness(benchmark):
+    sweep = run_once(
+        benchmark,
+        partial(sweep_seeds, dynamics_scenario(SAMPLES), SEEDS),
+    )
+    say()
+    say(sweep.render())
+
+    # The most scale-sensitive statistics still shouldn't wander far.
+    dynamic = sweep.statistic("dynamic share of multi-report samples")
+    assert dynamic.spread < 0.08
+    rank0 = sweep.statistic("stable samples at AV-Rank 0")
+    assert rank0.spread < 0.08
+    update = sweep.statistic("flips with engine update")
+    assert update.spread < 0.10
+    stable_hi = sweep.statistic("labels eventually stable (max over t)")
+    assert stable_hi.spread < 0.05
+
+    # No statistic's relative spread explodes.
+    assert sweep.max_relative_spread() < 0.8

@@ -1,0 +1,34 @@
+"""Table 2: dataset overview — reports per month, sizes, totals.
+
+Paper values (full scale): 847,567,045 reports / 571,120,263 samples over
+14 months, 753 GB raw, compression rate 10.06x, 91.76 % fresh.  At
+scenario scale the shapes to hold are: every month populated, per-month
+volumes tracking the paper's monthly weighting (March 2022 heaviest), a
+compression rate at least as good as the paper's, and the fresh share.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rendering import render_table2
+from repro.synth.scenario import MONTHLY_WEIGHTS
+
+from conftest import run_once, say
+
+
+def test_table2_dataset_overview(benchmark, bench_paper_data):
+    stats = run_once(benchmark, bench_paper_data.store.stats)
+    say()
+    say(render_table2(stats))
+
+    populated = [m for m in stats.months if m.report_count > 0]
+    assert len(populated) == 14
+    assert stats.total_reports == bench_paper_data.store.report_count
+    assert stats.fresh_fraction > 0.85
+    # The store's binary+zlib pipeline must beat the paper's 10.06x.
+    assert stats.compression_rate > 10.06
+    # Monthly shape: the heaviest month of the paper's weighting should
+    # out-collect the lightest by a clear margin.
+    heaviest = MONTHLY_WEIGHTS.index(max(MONTHLY_WEIGHTS))
+    lightest = MONTHLY_WEIGHTS.index(min(MONTHLY_WEIGHTS))
+    assert (stats.months[heaviest].report_count
+            > stats.months[lightest].report_count)

@@ -1,0 +1,42 @@
+"""Table 3: file-type distribution of samples and reports.
+
+Paper shapes: Win32 EXE is the most common type (25.2 % of samples), the
+top-10 types cover ~78 % and the top-20 ~87 % of samples, and rescan-heavy
+types (Win32 DLL ~4 reports/sample, ZIP ~2.6) over-index on reports.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.analysis.dataset import file_type_distribution
+from repro.analysis.rendering import render_table3
+from repro.vt.filetypes import TOP20_FILE_TYPES
+
+from conftest import run_once, say
+
+
+def test_table3_file_type_distribution(benchmark, bench_paper_data):
+    dist = run_once(
+        benchmark, partial(file_type_distribution, bench_paper_data.store)
+    )
+    say()
+    say(render_table3(dist))
+
+    assert dist.rows[0].file_type == "Win32 EXE"
+    assert dist.rows[0].sample_share > 0.20
+
+    named = [r for r in dist.rows if not r.file_type.startswith("TYPE_")
+             and r.file_type != "NULL"]
+    top10_share = sum(r.sample_share for r in named[:10])
+    assert 0.60 < top10_share < 0.90  # paper: 78.17 %
+
+    # Rescan-heavy types over-index on reports relative to samples.
+    dll = dist.row_for("Win32 DLL")
+    if dll is not None and dll.samples > 50:
+        assert dll.report_share > dll.sample_share * 1.5
+
+    # All 20 paper types should appear at this scale.
+    present = {r.file_type for r in dist.rows}
+    missing = set(TOP20_FILE_TYPES) - present
+    assert not missing, f"missing types: {missing}"

@@ -1,0 +1,76 @@
+"""repro — reproduction of *Re-measuring the Label Dynamics of Online
+Anti-Malware Engines from Millions of Samples* (IMC 2023).
+
+The package has three layers:
+
+* substrates — a VirusTotal service simulator (:mod:`repro.vt`), synthetic
+  workload generation (:mod:`repro.synth`), a compressed report store
+  (:mod:`repro.store`) and a statistics toolkit (:mod:`repro.stats`);
+* the paper's contribution — the label-dynamics analysis library
+  (:mod:`repro.core`);
+* reproduction pipelines — per-table/figure experiment drivers
+  (:mod:`repro.analysis`) and the AVClass-style baseline labeller
+  (:mod:`repro.labeling`).
+
+Quickstart::
+
+    from repro import run_experiment, dynamics_scenario, split_stable_dynamic
+    data = run_experiment(dynamics_scenario(n_samples=2000, seed=7))
+    stable, dynamic = split_stable_dynamic(data.series())
+"""
+
+from repro._version import __version__
+from repro.analysis.experiment import ExperimentData, run_experiment
+from repro.core.avrank import AVRankSeries, collect_series, split_stable_dynamic
+from repro.core.aggregation import (
+    PercentageAggregator,
+    ThresholdAggregator,
+    TrustedEnginesAggregator,
+    WeightedVoteAggregator,
+)
+from repro.core.categorize import categorize, category_distribution
+from repro.core.correlation import correlation_analysis
+from repro.core.flips import analyze_flips
+from repro.core.monitor import StabilityCriteria, StabilityMonitor
+from repro.core.stabilization import avrank_stabilization, label_stabilization
+from repro.store.reportstore import ReportStore
+from repro.synth.scenario import (
+    ScenarioConfig,
+    dynamics_scenario,
+    paper_scenario,
+    tiny_scenario,
+)
+from repro.vt.api import VTClient
+from repro.vt.engines import default_fleet
+from repro.vt.feed import PremiumFeed
+from repro.vt.service import VirusTotalService
+
+__all__ = [
+    "__version__",
+    "ExperimentData",
+    "run_experiment",
+    "AVRankSeries",
+    "collect_series",
+    "split_stable_dynamic",
+    "PercentageAggregator",
+    "ThresholdAggregator",
+    "TrustedEnginesAggregator",
+    "WeightedVoteAggregator",
+    "categorize",
+    "category_distribution",
+    "correlation_analysis",
+    "analyze_flips",
+    "StabilityCriteria",
+    "StabilityMonitor",
+    "avrank_stabilization",
+    "label_stabilization",
+    "ReportStore",
+    "ScenarioConfig",
+    "dynamics_scenario",
+    "paper_scenario",
+    "tiny_scenario",
+    "VTClient",
+    "default_fleet",
+    "PremiumFeed",
+    "VirusTotalService",
+]

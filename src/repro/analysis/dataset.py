@@ -1,0 +1,108 @@
+"""Dataset-overview analyses: Table 2, Table 3 and Figure 1.
+
+These operate on a report store alone — they are the "what did we
+collect" statistics of the paper's §4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.stats.cdf import EmpiricalCDF
+from repro.store.reportstore import ReportStore
+from repro.store.stats import StoreStats
+from repro.vt.filetypes import TOP20_FILE_TYPES
+
+
+@dataclass(frozen=True)
+class FileTypeRow:
+    """One row of Table 3."""
+
+    file_type: str
+    samples: int
+    sample_share: float
+    reports: int
+    report_share: float
+
+
+@dataclass(frozen=True)
+class FileTypeDistribution:
+    """Table 3: sample/report distribution over file types."""
+
+    rows: tuple[FileTypeRow, ...]
+    total_samples: int
+    total_reports: int
+
+    def top(self, n: int = 20) -> tuple[FileTypeRow, ...]:
+        return self.rows[:n]
+
+    def row_for(self, file_type: str) -> FileTypeRow | None:
+        for row in self.rows:
+            if row.file_type == file_type:
+                return row
+        return None
+
+    @property
+    def top20_sample_share(self) -> float:
+        """Paper: the top-20 types cover 87.04 % of samples (excl. NULL)."""
+        named = [r for r in self.rows if r.file_type in TOP20_FILE_TYPES]
+        return sum(r.sample_share for r in named[:20])
+
+
+def file_type_distribution(store: ReportStore) -> FileTypeDistribution:
+    """Compute Table 3 from the store's per-sample metadata."""
+    sample_counts: Counter = Counter()
+    report_counts: Counter = Counter()
+    for sha in store.samples():
+        ftype = store.sample_file_type(sha)
+        sample_counts[ftype] += 1
+        report_counts[ftype] += store.report_count_of(sha)
+    total_samples = sum(sample_counts.values())
+    total_reports = sum(report_counts.values())
+    rows = [
+        FileTypeRow(
+            file_type=ftype,
+            samples=count,
+            sample_share=count / total_samples if total_samples else 0.0,
+            reports=report_counts[ftype],
+            report_share=(report_counts[ftype] / total_reports
+                          if total_reports else 0.0),
+        )
+        for ftype, count in sample_counts.most_common()
+    ]
+    return FileTypeDistribution(
+        rows=tuple(rows),
+        total_samples=total_samples,
+        total_reports=total_reports,
+    )
+
+
+@dataclass(frozen=True)
+class ReportsPerSample:
+    """Figure 1: the reports-per-sample distribution and its landmarks."""
+
+    cdf: EmpiricalCDF
+    single_report_fraction: float
+    under_6_fraction: float
+    under_20_fraction: float
+    max_reports: int
+    multi_report_samples: int
+
+    @classmethod
+    def from_store(cls, store: ReportStore) -> "ReportsPerSample":
+        counts = [store.report_count_of(sha) for sha in store.samples()]
+        cdf = EmpiricalCDF(counts)
+        return cls(
+            cdf=cdf,
+            single_report_fraction=cdf.at(1),
+            under_6_fraction=cdf.below(6),
+            under_20_fraction=cdf.below(20),
+            max_reports=int(cdf.max),
+            multi_report_samples=sum(1 for c in counts if c > 1),
+        )
+
+
+def store_overview(store: ReportStore) -> StoreStats:
+    """Table 2: per-month report counts, sizes, and dataset totals."""
+    return store.stats()

@@ -1,0 +1,286 @@
+"""Section 5 pipelines: Figures 2-8 and Observations 1-7.
+
+Each function takes pre-built AV-Rank series (see
+:class:`repro.analysis.experiment.ExperimentData`) and returns a result
+dataclass carrying both the full curves and the headline landmarks the
+paper quotes, so benchmarks can print tables and tests can assert shapes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.avrank import AVRankSeries, split_stable_dynamic
+from repro.core.categorize import CategoryCounts, category_distribution
+from repro.core.metrics import (
+    BoxSummary,
+    PairwiseDifferences,
+    adjacent_deltas,
+    deltas_by_file_type,
+    overall_delta,
+    pairwise_differences,
+    summarize_by_file_type,
+)
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.descriptive import BoxplotStats, boxplot_stats
+from repro.stats.kstest import KSResult, ks_two_sample
+from repro.stats.spearman import SpearmanResult
+from repro.vt.filetypes import PE_FILE_TYPES
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 / Observation 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StableDynamicSplit:
+    """§5.1: the stable/dynamic landscape over multi-report samples."""
+
+    n_stable: int
+    n_dynamic: int
+    stable_report_cdf: EmpiricalCDF
+    dynamic_report_cdf: EmpiricalCDF
+
+    @property
+    def n_multi(self) -> int:
+        return self.n_stable + self.n_dynamic
+
+    @property
+    def dynamic_fraction(self) -> float:
+        """Paper: 50.10 %."""
+        return self.n_dynamic / self.n_multi if self.n_multi else 0.0
+
+    @property
+    def stable_two_report_fraction(self) -> float:
+        """Paper: 67.09 % of stable samples have exactly two reports."""
+        return self.stable_report_cdf.at(2)
+
+    @property
+    def dynamic_two_report_fraction(self) -> float:
+        """Paper: 71.3 %."""
+        return self.dynamic_report_cdf.at(2)
+
+    def report_count_ks(self) -> KSResult:
+        """KS test of the two classes' report-count distributions —
+        quantifying Figure 2's "striking similarity" claim."""
+        return ks_two_sample(self.stable_report_cdf._sorted,
+                             self.dynamic_report_cdf._sorted)
+
+
+def stable_dynamic_split(series: Sequence[AVRankSeries]) -> StableDynamicSplit:
+    stable, dynamic = split_stable_dynamic(series)
+    return StableDynamicSplit(
+        n_stable=len(stable),
+        n_dynamic=len(dynamic),
+        stable_report_cdf=EmpiricalCDF([s.n for s in stable]),
+        dynamic_report_cdf=EmpiricalCDF([s.n for s in dynamic]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-4 / Observation 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StableSampleProfile:
+    """§5.2: AV-Rank distribution and time spans of stable samples."""
+
+    rank_cdf: EmpiricalCDF
+    span_by_rank: dict[int, BoxplotStats]
+    median_span_days: float
+    benign_mean_span_days: float
+
+    @property
+    def rank_zero_fraction(self) -> float:
+        """Paper: 66.36 % of stable samples hold AV-Rank 0."""
+        return self.rank_cdf.at(0)
+
+    @property
+    def rank_at_most_5_fraction(self) -> float:
+        """Paper: over 80 % of stable samples have AV-Rank <= 5."""
+        return self.rank_cdf.at(5)
+
+
+def stable_sample_profile(
+    series: Sequence[AVRankSeries], rank_group_cap: int = 10
+) -> StableSampleProfile:
+    """Figures 3-4 over the stable multi-report samples.
+
+    ``rank_group_cap`` pools every rank above the cap into one box group,
+    as ranks get sparse quickly.
+    """
+    stable = [s for s in series if s.multi and s.stable]
+    ranks = [s.ranks[0] for s in stable]
+    spans: dict[int, list[float]] = defaultdict(list)
+    for s in stable:
+        group = min(s.ranks[0], rank_group_cap)
+        spans[group].append(s.span_days)
+    all_spans = sorted(s.span_days for s in stable)
+    benign_spans = [s.span_days for s in stable if s.ranks[0] == 0]
+    return StableSampleProfile(
+        rank_cdf=EmpiricalCDF(ranks),
+        span_by_rank={
+            rank: boxplot_stats(values) for rank, values in spans.items()
+        },
+        median_span_days=(all_spans[len(all_spans) // 2] if all_spans else 0.0),
+        benign_mean_span_days=(sum(benign_spans) / len(benign_spans)
+                               if benign_spans else 0.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 / Observation 3
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeltaDistributions:
+    """§5.3.3: the pooled δ and per-sample Δ distributions over S."""
+
+    delta_cdf: EmpiricalCDF  # adjacent-scan δ
+    delta_overall_cdf: EmpiricalCDF  # per-sample Δ
+
+    @property
+    def adjacent_zero_fraction(self) -> float:
+        """Paper: 35.49 % of adjacent pairs show no change."""
+        return self.delta_cdf.at(0)
+
+    @property
+    def overall_above_2_fraction(self) -> float:
+        """Paper: roughly half of samples have Δ > 2."""
+        return 1.0 - self.delta_overall_cdf.at(2)
+
+    @property
+    def overall_within_11_fraction(self) -> float:
+        """Paper: 90 % of samples have Δ <= 11."""
+        return self.delta_overall_cdf.at(11)
+
+
+def delta_distributions(dataset_s: Sequence[AVRankSeries]) -> DeltaDistributions:
+    return DeltaDistributions(
+        delta_cdf=EmpiricalCDF(adjacent_deltas(dataset_s)),
+        delta_overall_cdf=EmpiricalCDF(overall_delta(dataset_s)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 / Observation 4
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PerTypeDynamics:
+    """§5.3.4: δ/Δ box summaries per file type."""
+
+    adjacent: dict[str, BoxSummary]
+    overall: dict[str, BoxSummary]
+
+    def ranked_by_overall_mean(self) -> list[tuple[str, float]]:
+        """File types by mean Δ, most dynamic first (paper: PE on top)."""
+        return sorted(
+            ((ftype, box.mean) for ftype, box in self.overall.items()),
+            key=lambda item: -item[1],
+        )
+
+    def ranked_by_adjacent_mean(self) -> list[tuple[str, float]]:
+        """File types by mean δ (paper: Win32 DLL on top, JSON at bottom)."""
+        return sorted(
+            ((ftype, box.mean) for ftype, box in self.adjacent.items()),
+            key=lambda item: -item[1],
+        )
+
+
+def per_type_dynamics(dataset_s: Sequence[AVRankSeries]) -> PerTypeDynamics:
+    adjacent, overall = deltas_by_file_type(dataset_s)
+    return PerTypeDynamics(
+        adjacent=summarize_by_file_type(adjacent),
+        overall=summarize_by_file_type(overall),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 / Observation 5
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntervalEffect:
+    """§5.3.5: AV-Rank difference vs scan interval."""
+
+    pairs: PairwiseDifferences
+    binned_boxes: dict[int, BoxplotStats]
+    correlation: SpearmanResult
+
+    @property
+    def max_interval_days(self) -> float:
+        return max(self.pairs.interval_days) if len(self.pairs) else 0.0
+
+
+def interval_effect(
+    dataset_s: Sequence[AVRankSeries],
+    bin_days: float = 30.0,
+    max_pairs_per_sample: int = 200,
+) -> IntervalEffect:
+    pairs = pairwise_differences(dataset_s, max_pairs_per_sample)
+    boxes = {
+        bucket: boxplot_stats(values)
+        for bucket, values in sorted(pairs.binned(bin_days).items())
+        if values
+    }
+    return IntervalEffect(
+        pairs=pairs,
+        binned_boxes=boxes,
+        correlation=pairs.interval_correlation(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 / Observation 6
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThresholdImpact:
+    """§5.4: white/black/gray fractions over thresholds, overall and PE."""
+
+    overall: tuple[CategoryCounts, ...]
+    pe_only: tuple[CategoryCounts, ...]
+
+    def gray_curve(self, pe: bool = False) -> list[tuple[int, float]]:
+        counts = self.pe_only if pe else self.overall
+        return [(c.threshold, c.gray_fraction) for c in counts]
+
+    @property
+    def overall_peak(self) -> tuple[int, float]:
+        best = max(self.overall, key=lambda c: c.gray_fraction)
+        return best.threshold, best.gray_fraction
+
+    @property
+    def pe_peak(self) -> tuple[int, float]:
+        best = max(self.pe_only, key=lambda c: c.gray_fraction)
+        return best.threshold, best.gray_fraction
+
+
+def threshold_impact(
+    dataset_s: Sequence[AVRankSeries],
+    thresholds: Sequence[int] = tuple(range(1, 51)),
+) -> ThresholdImpact:
+    pe = [s for s in dataset_s if s.file_type in PE_FILE_TYPES]
+    return ThresholdImpact(
+        overall=tuple(category_distribution(dataset_s, thresholds)),
+        pe_only=tuple(category_distribution(pe, thresholds)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Report-count sanity (Figure 2's companion statistic)
+# ---------------------------------------------------------------------------
+
+
+def report_count_histogram(series: Sequence[AVRankSeries]) -> Counter:
+    """Histogram of reports-per-sample for a series collection."""
+    return Counter(s.n for s in series)

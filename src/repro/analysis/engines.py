@@ -1,0 +1,108 @@
+"""Section 7 pipelines: engine flips (Figure 10) and correlation
+(Figures 11-12, Tables 4-8).
+
+These are the only pipelines that read per-engine verdict vectors rather
+than AV-Rank series, so they take the store (or a report iterable) plus
+the fleet's engine-name order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.correlation import (
+    CorrelationAnalysis,
+    correlation_analysis,
+    per_type_analyses,
+)
+from repro.core.flips import FlipStats, analyze_flips
+from repro.store.reportstore import ReportStore
+from repro.vt.filetypes import TOP20_FILE_TYPES
+from repro.vt.reports import ScanReport
+
+#: The file types the paper's appendix tabulates (Tables 4-8).
+APPENDIX_FILE_TYPES: tuple[str, ...] = ("Win32 EXE", "TXT", "HTML", "ZIP", "PDF")
+
+
+def dataset_s_reports(
+    store: ReportStore, top20: Sequence[str] = TOP20_FILE_TYPES
+) -> Iterable[tuple[str, list[ScanReport]]]:
+    """Grouped reports restricted to the paper's dataset S membership
+    (fresh, top-20 type, multi-report, dynamic)."""
+    wanted = set(top20)
+    for sha, reports in store.iter_sample_reports():
+        if len(reports) < 2:
+            continue
+        if reports[0].file_type not in wanted:
+            continue
+        if reports[0].first_submission_date < 0:
+            continue
+        ranks = [r.positives for r in reports]
+        if max(ranks) == min(ranks):
+            continue
+        yield sha, reports
+
+
+@dataclass(frozen=True)
+class EngineStabilityResult:
+    """Figure 10 plus §7.1.1's headline flip counts."""
+
+    flips: FlipStats
+
+    @property
+    def up_down_ratio(self) -> float:
+        """Paper: 12.27 M 0→1 vs 4.57 M 1→0 (≈2.7×)."""
+        down = self.flips.total_flips_down
+        return self.flips.total_flips_up / down if down else float("inf")
+
+    @property
+    def hazard_share(self) -> float:
+        """Hazards per flip — the paper found this effectively zero,
+        contradicting Zhu et al.'s >50 % under daily rescans."""
+        total = self.flips.total_flips
+        return self.flips.total_hazards / total if total else 0.0
+
+
+def engine_stability(
+    store: ReportStore,
+    engine_names: Sequence[str],
+    dataset_s_only: bool = True,
+) -> EngineStabilityResult:
+    """Run the §7.1 flip analysis (Figure 10)."""
+    source = (dataset_s_reports(store) if dataset_s_only
+              else store.iter_sample_reports())
+    return EngineStabilityResult(flips=analyze_flips(source, engine_names))
+
+
+@dataclass(frozen=True)
+class EngineCorrelationResult:
+    """Figures 11-12 and Tables 4-8."""
+
+    overall: CorrelationAnalysis
+    per_type: dict[str, CorrelationAnalysis]
+
+    def overall_groups(self) -> list[list[str]]:
+        """Figure 11's strongly-correlated engine groups."""
+        return self.overall.groups()
+
+    def groups_for(self, file_type: str) -> list[list[str]]:
+        """Tables 4-8: groups for one file type (empty if not analysed)."""
+        analysis = self.per_type.get(file_type)
+        return analysis.groups() if analysis is not None else []
+
+
+def engine_correlation(
+    store: ReportStore,
+    engine_names: Sequence[str],
+    file_types: Sequence[str] = APPENDIX_FILE_TYPES,
+    threshold: float = 0.8,
+    min_scans: int = 50,
+) -> EngineCorrelationResult:
+    """Run the §7.2 correlation analysis overall and per file type."""
+    reports = list(store.iter_reports())
+    return EngineCorrelationResult(
+        overall=correlation_analysis(reports, engine_names, threshold),
+        per_type=per_type_analyses(reports, engine_names, file_types,
+                                   threshold, min_scans),
+    )

@@ -1,0 +1,102 @@
+"""Seed-robustness sweeps.
+
+A single scenario run is one draw from the generator; before trusting a
+headline number, sweep seeds and look at the spread.  `sweep_seeds` runs
+the same scenario under several seeds, extracts the headline statistics
+the calibration module grades, and reports mean, min/max, and a bootstrap
+confidence interval per statistic.
+
+This backs the claim that the reproduction is stable in the seed — the
+`bench_seed_robustness` benchmark asserts the headline spreads stay
+narrow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.calibration import calibration_report
+from repro.analysis.experiment import run_experiment
+from repro.errors import ConfigError
+from repro.stats.bootstrap import ConfidenceInterval, bootstrap_ci
+from repro.synth.scenario import ScenarioConfig
+
+
+@dataclass(frozen=True)
+class SweepStatistic:
+    """One headline statistic across the sweep's seeds."""
+
+    name: str
+    section: str
+    paper_value: float
+    values: tuple[float, ...]
+    interval: ConfidenceInterval
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def spread(self) -> float:
+        return max(self.values) - min(self.values)
+
+
+@dataclass(frozen=True)
+class SeedSweep:
+    """All headline statistics across all swept seeds."""
+
+    seeds: tuple[int, ...]
+    statistics: tuple[SweepStatistic, ...]
+
+    def statistic(self, name: str) -> SweepStatistic:
+        for stat in self.statistics:
+            if stat.name == name:
+                return stat
+        raise KeyError(name)
+
+    def max_relative_spread(self) -> float:
+        """Largest spread/mean ratio across statistics with nonzero
+        mean — the sweep's single instability score."""
+        worst = 0.0
+        for stat in self.statistics:
+            if abs(stat.mean) > 1e-9:
+                worst = max(worst, stat.spread / abs(stat.mean))
+        return worst
+
+    def render(self) -> str:
+        lines = [f"seed sweep over {list(self.seeds)}:"]
+        for stat in self.statistics:
+            lines.append(
+                f"  {stat.section:6s} {stat.name:42s} "
+                f"paper={stat.paper_value:7.3f} "
+                f"mean={stat.mean:7.3f} "
+                f"range=[{min(stat.values):.3f}, {max(stat.values):.3f}]"
+            )
+        return "\n".join(lines)
+
+
+def sweep_seeds(
+    config: ScenarioConfig, seeds: Sequence[int]
+) -> SeedSweep:
+    """Run the scenario once per seed and collect headline statistics."""
+    if not seeds:
+        raise ConfigError("sweep needs at least one seed")
+    per_seed_reports = []
+    for seed in seeds:
+        data = run_experiment(config.with_(seed=seed))
+        per_seed_reports.append(calibration_report(data))
+
+    statistics = []
+    reference = per_seed_reports[0]
+    for index, target in enumerate(reference.targets):
+        values = tuple(report.targets[index].measured
+                       for report in per_seed_reports)
+        statistics.append(SweepStatistic(
+            name=target.name,
+            section=target.section,
+            paper_value=target.paper_value,
+            values=values,
+            interval=bootstrap_ci(values, seed=index),
+        ))
+    return SeedSweep(seeds=tuple(seeds), statistics=tuple(statistics))

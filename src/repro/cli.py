@@ -1,0 +1,172 @@
+"""Command-line interface: ``repro-vt``.
+
+Subcommands mirror the reproduction workflow:
+
+* ``generate`` — run a scenario and save the report store to disk;
+* ``overview`` — Tables 2-3 and Figure 1 from a saved (or fresh) store;
+* ``dynamics`` — Figures 2-8;
+* ``stabilization`` — Figure 9 and Observation 8;
+* ``engines`` — Figures 10-11 and the Tables 4-8 groups;
+* ``all`` — everything above in one run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import dataset as dataset_mod
+from repro.analysis import dynamics as dynamics_mod
+from repro.analysis import engines as engines_mod
+from repro.analysis import rendering, stabilization as stab_mod
+from repro.analysis.experiment import ExperimentData, run_experiment
+from repro.core.avrank import collect_series, select_dataset_s
+from repro.store.reportstore import ReportStore
+from repro.synth.scenario import dynamics_scenario, paper_scenario
+from repro.vt.engines import default_fleet
+from repro.vt.filetypes import TOP20_FILE_TYPES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vt",
+        description="Reproduce the IMC'23 VirusTotal label-dynamics study "
+                    "on a simulated VT ecosystem.",
+    )
+    parser.add_argument("--samples", type=int, default=10_000,
+                        help="population size (default: 10000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="scenario seed (default: 0)")
+    parser.add_argument("--scenario", choices=("paper", "dynamics"),
+                        default="dynamics",
+                        help="population preset: full paper mix or the "
+                             "dynamics-focused dataset S")
+    parser.add_argument("--store", metavar="PATH",
+                        help="load reports from a saved store instead of "
+                             "generating")
+    sub = parser.add_subparsers(dest="command", required=True)
+    gen = sub.add_parser("generate", help="generate and save a store")
+    gen.add_argument("output", help="path for the saved store")
+    sub.add_parser("overview", help="Tables 2-3, Figure 1")
+    sub.add_parser("dynamics", help="Figures 2-8")
+    sub.add_parser("stabilization", help="Figure 9, Observation 8")
+    sub.add_parser("engines", help="Figures 10-11, Tables 4-8")
+    sub.add_parser("all", help="every table and figure")
+    sub.add_parser("calibrate", help="grade headline stats vs the paper")
+    report = sub.add_parser("report", help="write a full markdown report")
+    report.add_argument("output", help="path for the markdown report")
+    return parser
+
+
+def _config(args: argparse.Namespace):
+    if args.scenario == "paper":
+        return paper_scenario(n_samples=args.samples, seed=args.seed)
+    return dynamics_scenario(n_samples=args.samples, seed=args.seed)
+
+
+def _data(args: argparse.Namespace) -> ExperimentData:
+    if args.store:
+        store = ReportStore.load(args.store)
+        return ExperimentData(
+            config=_config(args),
+            fleet=default_fleet(args.seed),
+            service=None,  # analyses never need the live service
+            store=store,
+        )
+    started = time.perf_counter()
+    data = run_experiment(_config(args))
+    print(f"[generated {data.store.report_count:,} reports from "
+          f"{data.store.sample_count:,} samples in "
+          f"{time.perf_counter() - started:.1f}s]\n", file=sys.stderr)
+    return data
+
+
+def _series_and_s(data: ExperimentData):
+    series = collect_series(data.store.iter_sample_reports())
+    return series, select_dataset_s(series, frozenset(TOP20_FILE_TYPES))
+
+
+def cmd_overview(data: ExperimentData) -> None:
+    print(rendering.render_table2(data.store.stats()))
+    print()
+    print(rendering.render_table3(
+        dataset_mod.file_type_distribution(data.store)))
+    print()
+    print(rendering.render_fig1(
+        dataset_mod.ReportsPerSample.from_store(data.store)))
+
+
+def cmd_dynamics(data: ExperimentData) -> None:
+    series, dataset_s = _series_and_s(data)
+    print(rendering.render_fig2(dynamics_mod.stable_dynamic_split(series)))
+    print()
+    print(rendering.render_fig3_fig4(
+        dynamics_mod.stable_sample_profile(series)))
+    print()
+    print(rendering.render_fig5(dynamics_mod.delta_distributions(dataset_s)))
+    print()
+    print(rendering.render_fig6(dynamics_mod.per_type_dynamics(dataset_s)))
+    print()
+    print(rendering.render_fig7(dynamics_mod.interval_effect(dataset_s)))
+    print()
+    print(rendering.render_fig8(dynamics_mod.threshold_impact(dataset_s)))
+
+
+def cmd_stabilization(data: ExperimentData) -> None:
+    _, dataset_s = _series_and_s(data)
+    print(rendering.render_obs8(
+        stab_mod.avrank_stabilization_profile(dataset_s)))
+    print()
+    print(rendering.render_fig9(
+        stab_mod.label_stabilization_profile(dataset_s)))
+
+
+def cmd_engines(data: ExperimentData) -> None:
+    names = data.engine_names
+    stability = engines_mod.engine_stability(data.store, names)
+    print(rendering.render_fig10(stability.flips,
+                                 engines_mod.APPENDIX_FILE_TYPES))
+    print()
+    correlation = engines_mod.engine_correlation(data.store, names)
+    print(rendering.render_fig11(correlation.overall))
+    print()
+    print(rendering.render_group_tables(correlation.per_type))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        data = run_experiment(_config(args))
+        data.store.save(args.output)
+        print(f"saved {data.store.report_count:,} reports to {args.output}")
+        return 0
+    data = _data(args)
+    if args.command == "calibrate":
+        from repro.analysis.calibration import calibration_report
+
+        report = calibration_report(data)
+        print(report.render())
+        return 0 if report.passed else 1
+    if args.command == "report":
+        from repro.analysis.report import write_report
+
+        path = write_report(data, args.output)
+        print(f"wrote report to {path}")
+        return 0
+    if args.command in ("overview", "all"):
+        cmd_overview(data)
+    if args.command in ("dynamics", "all"):
+        print()
+        cmd_dynamics(data)
+    if args.command in ("stabilization", "all"):
+        print()
+        cmd_stabilization(data)
+    if args.command in ("engines", "all"):
+        print()
+        cmd_engines(data)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""The paper's label-dynamics analysis library.
+
+This subpackage is the primary contribution reproduced from the paper:
+given per-sample sequences of VirusTotal scan reports, it measures
+
+* AV-Rank trajectories and the stable/dynamic split (§5.1-5.2,
+  :mod:`repro.core.avrank`);
+* adjacent-scan δ and overall Δ dynamics metrics (§5.3,
+  :mod:`repro.core.metrics`);
+* white/black/gray threshold categorisation (§5.4,
+  :mod:`repro.core.categorize`) and threshold recommendation
+  (:mod:`repro.core.recommend`);
+* flip-cause attribution (§5.5, :mod:`repro.core.causes`);
+* AV-Rank and label stabilisation (§6, :mod:`repro.core.stabilization`)
+  plus the suggested stability-notification feature
+  (:mod:`repro.core.monitor`);
+* per-engine flips, hazard flips and flip ratios (§7.1,
+  :mod:`repro.core.flips`);
+* engine correlation graphs and groups (§7.2,
+  :mod:`repro.core.correlation`);
+* label aggregation strategies (§3.1, :mod:`repro.core.aggregation`).
+"""
+
+from repro.core.avrank import AVRankSeries, collect_series, split_stable_dynamic
+from repro.core.metrics import (
+    adjacent_deltas,
+    overall_delta,
+    pairwise_differences,
+)
+from repro.core.categorize import (
+    BLACK,
+    GRAY,
+    WHITE,
+    categorize,
+    category_distribution,
+)
+from repro.core.stabilization import (
+    AVRankStabilization,
+    LabelStabilization,
+    avrank_stabilization,
+    label_stabilization,
+)
+from repro.core.flips import FlipStats, analyze_flips
+from repro.core.correlation import (
+    CorrelationAnalysis,
+    build_result_matrix,
+    correlation_analysis,
+)
+from repro.core.aggregation import (
+    PercentageAggregator,
+    ThresholdAggregator,
+    TrustedEnginesAggregator,
+    WeightedVoteAggregator,
+)
+from repro.core.causes import CauseBreakdown, attribute_causes
+from repro.core.recommend import recommend_threshold_ranges
+from repro.core.reliability import EngineScore, score_engines, select_trusted
+from repro.core.monitor import StabilityCriteria, StabilityMonitor
+
+__all__ = [
+    "AVRankSeries",
+    "collect_series",
+    "split_stable_dynamic",
+    "adjacent_deltas",
+    "overall_delta",
+    "pairwise_differences",
+    "WHITE",
+    "BLACK",
+    "GRAY",
+    "categorize",
+    "category_distribution",
+    "AVRankStabilization",
+    "LabelStabilization",
+    "avrank_stabilization",
+    "label_stabilization",
+    "FlipStats",
+    "analyze_flips",
+    "CorrelationAnalysis",
+    "build_result_matrix",
+    "correlation_analysis",
+    "PercentageAggregator",
+    "ThresholdAggregator",
+    "TrustedEnginesAggregator",
+    "WeightedVoteAggregator",
+    "CauseBreakdown",
+    "attribute_causes",
+    "recommend_threshold_ranges",
+    "EngineScore",
+    "score_engines",
+    "select_trusted",
+    "StabilityCriteria",
+    "StabilityMonitor",
+]

@@ -1,0 +1,149 @@
+"""Label aggregation strategies (§3.1).
+
+Given one scan report, an aggregator reduces the 70 engine verdicts to a
+single malicious/benign decision.  The paper surveys the strategies the
+community actually uses, all implemented here:
+
+* :class:`ThresholdAggregator` — malicious when AV-Rank >= t (thresholds
+  of 1, 2 and 10 appear in the cited literature);
+* :class:`PercentageAggregator` — malicious when the share of responding
+  engines that flag the sample reaches a fraction (e.g. 50 %);
+* :class:`TrustedEnginesAggregator` — count only a hand-picked set of
+  reputable engines;
+* :class:`WeightedVoteAggregator` — per-engine weights (the
+  Kantchelian et al. style of learned vendor trust), e.g. down-weighting
+  engines in the same correlation group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.vt.reports import LABEL_MALICIOUS, ScanReport
+
+
+class Aggregator:
+    """Interface: reduce a report to one boolean verdict."""
+
+    def is_malicious(self, report: ScanReport) -> bool:
+        raise NotImplementedError
+
+    def label(self, report: ScanReport) -> str:
+        """The paper's "M"/"B" coding of the decision."""
+        return "M" if self.is_malicious(report) else "B"
+
+
+@dataclass(frozen=True)
+class ThresholdAggregator(Aggregator):
+    """Malicious when AV-Rank (positives) >= threshold."""
+
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {self.threshold}")
+
+    def is_malicious(self, report: ScanReport) -> bool:
+        return report.positives >= self.threshold
+
+
+@dataclass(frozen=True)
+class PercentageAggregator(Aggregator):
+    """Malicious when positives / responding engines >= fraction."""
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigError(f"fraction must be in (0,1], got {self.fraction}")
+
+    def is_malicious(self, report: ScanReport) -> bool:
+        if report.total == 0:
+            return False
+        return report.positives / report.total >= self.fraction
+
+
+class TrustedEnginesAggregator(Aggregator):
+    """Threshold voting restricted to a trusted engine subset.
+
+    Needs the fleet's name order to map names to label-vector columns.
+    """
+
+    def __init__(
+        self,
+        trusted: Sequence[str],
+        engine_names: Sequence[str],
+        threshold: int = 1,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {threshold}")
+        if not trusted:
+            raise ConfigError("trusted engine set must be non-empty")
+        index = {name: i for i, name in enumerate(engine_names)}
+        try:
+            self._columns = tuple(index[name] for name in trusted)
+        except KeyError as exc:
+            raise ConfigError(f"unknown trusted engine: {exc.args[0]}") from None
+        self.trusted = tuple(trusted)
+        self.threshold = threshold
+
+    def is_malicious(self, report: ScanReport) -> bool:
+        votes = sum(
+            1 for c in self._columns
+            if report.label_of(c) == LABEL_MALICIOUS
+        )
+        return votes >= self.threshold
+
+
+class WeightedVoteAggregator(Aggregator):
+    """Weighted engine voting against a score threshold.
+
+    A natural use (suggested by Observation 11) is weighting each engine
+    by ``1 / len(its correlation group)`` so an OEM family of eight
+    engines counts as one independent opinion.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float],
+        engine_names: Sequence[str],
+        threshold: float,
+    ) -> None:
+        if threshold <= 0:
+            raise ConfigError(f"score threshold must be > 0, got {threshold}")
+        index = {name: i for i, name in enumerate(engine_names)}
+        resolved: list[tuple[int, float]] = []
+        for name, weight in weights.items():
+            if name not in index:
+                raise ConfigError(f"unknown engine in weights: {name!r}")
+            if weight < 0:
+                raise ConfigError(f"negative weight for {name!r}")
+            resolved.append((index[name], weight))
+        self._weighted_columns = tuple(resolved)
+        self.threshold = threshold
+
+    def is_malicious(self, report: ScanReport) -> bool:
+        score = sum(
+            weight for column, weight in self._weighted_columns
+            if report.label_of(column) == LABEL_MALICIOUS
+        )
+        return score >= self.threshold
+
+    @classmethod
+    def from_correlation_groups(
+        cls,
+        groups: Sequence[Sequence[str]],
+        engine_names: Sequence[str],
+        threshold: float,
+    ) -> "WeightedVoteAggregator":
+        """Build group-deduplicated weights from §7.2 correlation groups."""
+        weights = {name: 1.0 for name in engine_names}
+        for group in groups:
+            if not group:
+                continue
+            share = 1.0 / len(group)
+            for name in group:
+                weights[name] = share
+        return cls(weights, engine_names, threshold)

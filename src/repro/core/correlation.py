@@ -1,0 +1,140 @@
+"""Engine correlation analysis (§7.2).
+
+The paper builds a matrix R over all scans: each row is one scan, each
+column one engine, entries are 1 (malicious), 0 (benign) or −1
+(undetected).  For every engine pair it computes Spearman's ρ between the
+column vectors and calls the pair **strongly correlated** above 0.8; the
+graph of strong correlations (Figure 11 overall, Figure 12 per type) has
+connected components that recover the known OEM/copying groups
+(Tables 4-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.stats.spearman import spearman_matrix
+from repro.vt.reports import ScanReport
+
+#: The paper's strong-correlation threshold.
+STRONG_THRESHOLD = 0.8
+
+
+def build_result_matrix(
+    reports: Iterable[ScanReport], n_engines: int
+) -> np.ndarray:
+    """The paper's R matrix: scans × engines with values in {1, 0, −1}."""
+    rows = []
+    for report in reports:
+        row = np.frombuffer(report.labels, dtype=np.uint8).astype(np.int8)
+        rows.append(row)
+    if not rows:
+        raise InsufficientDataError(1, 0, "reports for correlation")
+    matrix = np.vstack(rows)
+    if matrix.shape[1] != n_engines:
+        raise ValueError(
+            f"reports carry {matrix.shape[1]} engines, expected {n_engines}"
+        )
+    # Byte 2 encodes undetected; map it to the paper's −1.
+    out = matrix.astype(np.int8)
+    out[out == 2] = -1
+    return out
+
+
+@dataclass(frozen=True)
+class CorrelationAnalysis:
+    """Pairwise engine correlations plus the strong-correlation graph."""
+
+    engine_names: tuple[str, ...]
+    rho: np.ndarray
+    threshold: float
+    n_scans: int
+
+    def rho_of(self, first: str, second: str) -> float:
+        """Spearman ρ between two named engines."""
+        i = self.engine_names.index(first)
+        j = self.engine_names.index(second)
+        return float(self.rho[i, j])
+
+    def strong_pairs(self) -> list[tuple[str, str, float]]:
+        """All engine pairs above the strong threshold, strongest first."""
+        pairs = []
+        n = len(self.engine_names)
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = self.rho[i, j]
+                if np.isfinite(value) and value > self.threshold:
+                    pairs.append(
+                        (self.engine_names[i], self.engine_names[j],
+                         float(value))
+                    )
+        pairs.sort(key=lambda item: item[2], reverse=True)
+        return pairs
+
+    def graph(self) -> nx.Graph:
+        """The strong-correlation graph (Figure 11 / Figure 12)."""
+        g = nx.Graph()
+        for first, second, value in self.strong_pairs():
+            g.add_edge(first, second, rho=value)
+        return g
+
+    def groups(self) -> list[list[str]]:
+        """Connected components of the graph — the Tables 4-8 groups,
+        largest first, members sorted by name."""
+        components = [sorted(c) for c in nx.connected_components(self.graph())]
+        components.sort(key=lambda c: (-len(c), c))
+        return components
+
+    def involved_engines(self) -> set[str]:
+        """Engines appearing in at least one strong pair (the paper found
+        17 at the overall level)."""
+        out: set[str] = set()
+        for first, second, _ in self.strong_pairs():
+            out.add(first)
+            out.add(second)
+        return out
+
+
+def correlation_analysis(
+    reports: Iterable[ScanReport],
+    engine_names: Sequence[str],
+    threshold: float = STRONG_THRESHOLD,
+) -> CorrelationAnalysis:
+    """Run the full §7.2 analysis over a report stream."""
+    matrix = build_result_matrix(reports, len(engine_names))
+    rho = spearman_matrix(matrix)
+    return CorrelationAnalysis(
+        engine_names=tuple(engine_names),
+        rho=rho,
+        threshold=threshold,
+        n_scans=matrix.shape[0],
+    )
+
+
+def per_type_analyses(
+    reports: Iterable[ScanReport],
+    engine_names: Sequence[str],
+    file_types: Sequence[str],
+    threshold: float = STRONG_THRESHOLD,
+    min_scans: int = 50,
+) -> dict[str, CorrelationAnalysis]:
+    """§7.2.2: one correlation analysis per file type.
+
+    Types with fewer than ``min_scans`` reports are skipped — ρ over a
+    handful of scans is noise.
+    """
+    wanted = set(file_types)
+    grouped: dict[str, list[ScanReport]] = {}
+    for report in reports:
+        if report.file_type in wanted:
+            grouped.setdefault(report.file_type, []).append(report)
+    return {
+        ftype: correlation_analysis(batch, engine_names, threshold)
+        for ftype, batch in grouped.items()
+        if len(batch) >= min_scans
+    }

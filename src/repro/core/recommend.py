@@ -1,0 +1,81 @@
+"""Threshold recommendation from gray-fraction curves (§5.4, Obs. 6).
+
+The paper turns Figure 8 into advice: thresholds where the gray fraction
+stays under ~10 % yield labels that tolerate VT's dynamics (overall it
+recommends t in 1-11 or 28-50; for PE files, 1-24).  This module extracts
+those contiguous low-gray ranges from a computed category distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.categorize import CategoryCounts
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ThresholdRange:
+    """A contiguous range of recommended thresholds, inclusive."""
+
+    low: int
+    high: int
+    max_gray_fraction: float
+
+    def __contains__(self, threshold: int) -> bool:
+        return self.low <= threshold <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.low}-{self.high}"
+
+
+def recommend_threshold_ranges(
+    distribution: Sequence[CategoryCounts],
+    gray_limit: float = 0.10,
+) -> list[ThresholdRange]:
+    """Contiguous threshold ranges whose gray fraction stays under
+    ``gray_limit`` (the paper's 10 % working bound)."""
+    if not 0.0 < gray_limit < 1.0:
+        raise ConfigError(f"gray_limit must be in (0,1), got {gray_limit}")
+    ordered = sorted(distribution, key=lambda c: c.threshold)
+    ranges: list[ThresholdRange] = []
+    run: list[CategoryCounts] = []
+    previous_t: int | None = None
+    for counts in ordered:
+        contiguous = previous_t is None or counts.threshold == previous_t + 1
+        if counts.gray_fraction < gray_limit and contiguous or (
+            counts.gray_fraction < gray_limit and not run
+        ):
+            run.append(counts)
+        elif counts.gray_fraction < gray_limit:
+            # Low-gray but not contiguous with the run: start a new one.
+            ranges.append(_close(run))
+            run = [counts]
+        else:
+            if run:
+                ranges.append(_close(run))
+                run = []
+        previous_t = counts.threshold
+    if run:
+        ranges.append(_close(run))
+    return ranges
+
+
+def _close(run: list[CategoryCounts]) -> ThresholdRange:
+    return ThresholdRange(
+        low=run[0].threshold,
+        high=run[-1].threshold,
+        max_gray_fraction=max(c.gray_fraction for c in run),
+    )
+
+
+def best_range(ranges: Sequence[ThresholdRange]) -> ThresholdRange:
+    """The widest recommended range (ties broken toward lower thresholds).
+
+    Width is the practical criterion: a wide safe band means the exact
+    threshold choice matters little.
+    """
+    if not ranges:
+        raise ConfigError("no recommended ranges to choose from")
+    return min(ranges, key=lambda r: (-(r.high - r.low), r.low))

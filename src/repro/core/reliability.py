@@ -1,0 +1,137 @@
+"""Engine reliability scoring and trusted-set selection (§7, §8).
+
+The paper's engine-level findings are meant to "assist researchers in
+choosing the appropriate aggregation method, based on specific engines".
+This module turns them into a tool: score every engine on the axes the
+paper measures — verdict stability (flip ratio), availability (response
+rate), coverage (how often it detects what the fleet consensus detects)
+and independence (whether it sits in a correlation group) — and derive a
+trusted engine set for :class:`~repro.core.aggregation.TrustedEnginesAggregator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.correlation import CorrelationAnalysis
+from repro.core.flips import FlipStats
+from repro.errors import ConfigError, InsufficientDataError
+from repro.vt.reports import ScanReport
+
+_UNDETECTED_BYTE = 2
+
+
+@dataclass(frozen=True)
+class EngineScore:
+    """Reliability profile of one engine."""
+
+    engine: str
+    #: Flips per consecutive-response pair (lower is steadier).
+    flip_ratio: float
+    #: Share of scans the engine responded to (higher is better).
+    availability: float
+    #: Detection agreement with fleet consensus on consensus-malicious
+    #: scans (higher catches more of what the fleet flags).
+    coverage: float
+    #: Size of the engine's strong-correlation group (1 = independent).
+    group_size: int
+    #: Index of the group in the correlation analysis (-1 = independent).
+    group_id: int = -1
+
+    def composite(self, *, stability_weight: float = 0.4,
+                  coverage_weight: float = 0.4,
+                  availability_weight: float = 0.2) -> float:
+        """A [0, 1] composite: steadier, broader, more available is
+        better; group membership divides the score (a family of eight
+        OEM engines is one opinion, Observation 11)."""
+        stability = max(0.0, 1.0 - 10.0 * self.flip_ratio)
+        raw = (stability_weight * stability
+               + coverage_weight * self.coverage
+               + availability_weight * self.availability)
+        return raw / self.group_size
+
+
+def score_engines(
+    reports: Iterable[ScanReport],
+    flips: FlipStats,
+    correlation: CorrelationAnalysis,
+    consensus_threshold: int = 10,
+) -> list[EngineScore]:
+    """Score every engine from scan data plus the §7 analyses.
+
+    ``consensus_threshold``: a scan counts as consensus-malicious when at
+    least this many engines flag it; coverage is measured there.
+    """
+    names = flips.engine_names
+    n = len(names)
+    responded = np.zeros(n, dtype=np.int64)
+    scans = 0
+    consensus_hits = np.zeros(n, dtype=np.int64)
+    consensus_scans = 0
+    for report in reports:
+        labels = np.frombuffer(report.labels, dtype=np.uint8)
+        scans += 1
+        responded += labels != _UNDETECTED_BYTE
+        if report.positives >= consensus_threshold:
+            consensus_scans += 1
+            consensus_hits += labels == 1
+    if scans == 0:
+        raise InsufficientDataError(1, 0, "reports for engine scoring")
+
+    group_of: dict[str, tuple[int, int]] = {}
+    for gid, group in enumerate(correlation.groups()):
+        for member in group:
+            group_of[member] = (len(group), gid)
+
+    scores = []
+    for i, name in enumerate(names):
+        pairs = int(flips.pairs[i])
+        ratio = (float((flips.flips_up[i] + flips.flips_down[i]) / pairs)
+                 if pairs else 0.0)
+        size, gid = group_of.get(name, (1, -1))
+        scores.append(EngineScore(
+            engine=name,
+            flip_ratio=ratio,
+            availability=float(responded[i] / scans),
+            coverage=(float(consensus_hits[i] / consensus_scans)
+                      if consensus_scans else 0.0),
+            group_size=size,
+            group_id=gid,
+        ))
+    return scores
+
+
+def select_trusted(
+    scores: Sequence[EngineScore],
+    count: int = 10,
+) -> list[str]:
+    """Pick a trusted engine set by composite score.
+
+    One engine per correlation group is taken before any group may
+    contribute a second member, so the set stays informationally diverse
+    (the paper's advice: correlated engines are one opinion).
+    """
+    if count < 1:
+        raise ConfigError("count must be >= 1")
+    ranked = sorted(scores, key=lambda s: s.composite(), reverse=True)
+    chosen: list[str] = []
+    groups_seen: set[int] = set()
+    # First pass: one representative per group (independents always fit).
+    for score in ranked:
+        if len(chosen) >= count:
+            break
+        if score.group_id >= 0:
+            if score.group_id in groups_seen:
+                continue
+            groups_seen.add(score.group_id)
+        chosen.append(score.engine)
+    # Second pass: fill remaining slots by raw rank.
+    for score in ranked:
+        if len(chosen) >= count:
+            break
+        if score.engine not in chosen:
+            chosen.append(score.engine)
+    return chosen[:count]

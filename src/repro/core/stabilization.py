@@ -1,0 +1,190 @@
+"""Stabilisation of AV-Ranks and of aggregated labels (§6).
+
+Two questions, two analyses:
+
+* **AV-Rank stabilisation** (§6.1): does a sample's AV-Rank eventually
+  settle, exactly (r = 0) or within a small fluctuation range r?  A
+  sample *reaches stability at index k* when every AV-Rank from scan k
+  onward spans at most r; we require the stable suffix to contain at
+  least two scans (otherwise the last scan alone would trivially
+  "stabilise" everything).
+* **Label stabilisation** (§6.2): under a voting threshold t, each scan
+  yields a "B"/"M" label; the sample's label stabilises at the first scan
+  after which the label never changes — again requiring a suffix of at
+  least two scans.
+
+Both report the stabilisation scan index (1-based serial number, as in
+Figure 9's left axis) and the days from first scan to stabilisation
+(Figure 9's right axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.avrank import AVRankSeries
+from repro.errors import ConfigError
+from repro.stats.descriptive import mean
+from repro.vt.clock import MINUTES_PER_DAY
+
+
+@dataclass(frozen=True)
+class AVRankStabilization:
+    """Outcome of the §6.1 analysis for one sample at one fluctuation r."""
+
+    sha256: str
+    stabilized: bool
+    #: 1-based serial number of the scan *confirming* stability — the
+    #: second scan of the stable suffix (None when never stabilised).
+    scan_index: int | None
+    #: Days from the first scan to the confirming scan.
+    days: float | None
+
+
+@dataclass(frozen=True)
+class LabelStabilization:
+    """Outcome of the §6.2 analysis for one sample at one threshold."""
+
+    sha256: str
+    threshold: int
+    stabilized: bool
+    scan_index: int | None
+    days: float | None
+    final_label: str
+
+
+def _suffix_start_within_range(ranks: Sequence[int], r: int) -> int:
+    """Smallest k such that max(ranks[k:]) − min(ranks[k:]) <= r.
+
+    Computed with suffix running extrema in one backward pass.
+    """
+    n = len(ranks)
+    hi = ranks[-1]
+    lo = ranks[-1]
+    start = n - 1
+    for k in range(n - 2, -1, -1):
+        hi = max(hi, ranks[k])
+        lo = min(lo, ranks[k])
+        if hi - lo <= r:
+            start = k
+        else:
+            break
+    return start
+
+
+def avrank_stabilization(
+    series: AVRankSeries, fluctuation: int = 0
+) -> AVRankStabilization:
+    """§6.1 for one sample: does AV-Rank settle within ``fluctuation``?
+
+    The stable suffix must contain at least two scans; a sample whose
+    very last scan breaks the range never stabilised.
+    """
+    if fluctuation < 0:
+        raise ConfigError("fluctuation must be >= 0")
+    if not series.multi:
+        return AVRankStabilization(series.sha256, False, None, None)
+    k = _suffix_start_within_range(series.ranks, fluctuation)
+    if k > series.n - 2:
+        return AVRankStabilization(series.sha256, False, None, None)
+    # Stability is *confirmed* at the second scan of the stable suffix —
+    # a single closing scan can't witness a constant run.  Figure 9's
+    # serial numbers and day counts use the confirmation scan.
+    days = (series.times[k + 1] - series.times[0]) / MINUTES_PER_DAY
+    return AVRankStabilization(series.sha256, True, k + 2, days)
+
+
+def label_stabilization(
+    series: AVRankSeries, threshold: int
+) -> LabelStabilization:
+    """§6.2 for one sample: when does the thresholded label settle?"""
+    if threshold < 1:
+        raise ConfigError("threshold must be >= 1")
+    labels = series.labels_under(threshold)
+    final = labels[-1]
+    if not series.multi:
+        return LabelStabilization(series.sha256, threshold, False, None,
+                                  None, final)
+    # Walk backwards to the start of the constant suffix.
+    k = series.n - 1
+    while k > 0 and labels[k - 1] == final:
+        k -= 1
+    if k > series.n - 2:
+        return LabelStabilization(series.sha256, threshold, False, None,
+                                  None, final)
+    # As above: report the confirmation scan (second of the suffix).
+    days = (series.times[k + 1] - series.times[0]) / MINUTES_PER_DAY
+    return LabelStabilization(series.sha256, threshold, True, k + 2,
+                              days, final)
+
+
+@dataclass(frozen=True)
+class StabilizationSummary:
+    """Dataset-level stabilisation statistics (one Figure 9 x-position)."""
+
+    parameter: int  # fluctuation r, or threshold t
+    n_samples: int
+    n_stabilized: int
+    mean_scan_index: float | None
+    mean_days: float | None
+    fraction_within: dict[int, float]
+
+    @property
+    def stabilized_fraction(self) -> float:
+        return self.n_stabilized / self.n_samples if self.n_samples else 0.0
+
+
+def summarize_avrank_stabilization(
+    series: Iterable[AVRankSeries],
+    fluctuation: int = 0,
+    within_days: Sequence[int] = (10, 20, 30),
+) -> StabilizationSummary:
+    """§6.1 aggregate: stabilised share and timing at one fluctuation."""
+    outcomes = [avrank_stabilization(s, fluctuation)
+                for s in series if s.multi]
+    return _summarize(fluctuation, outcomes, within_days)
+
+
+def summarize_label_stabilization(
+    series: Iterable[AVRankSeries],
+    threshold: int,
+    within_days: Sequence[int] = (15, 30),
+    exclude_two_scan: bool = False,
+) -> StabilizationSummary:
+    """§6.2 aggregate at one threshold.
+
+    ``exclude_two_scan`` reproduces the paper's Figure 9(b), which drops
+    samples with exactly two scans because they stabilise trivially.
+    """
+    pool = [s for s in series
+            if s.multi and not (exclude_two_scan and s.n == 2)]
+    outcomes = [label_stabilization(s, threshold) for s in pool]
+    return _summarize(threshold, outcomes, within_days)
+
+
+def _summarize(
+    parameter: int,
+    outcomes: Sequence[AVRankStabilization | LabelStabilization],
+    within_days: Sequence[int],
+) -> StabilizationSummary:
+    stabilized = [o for o in outcomes if o.stabilized]
+    fraction_within = {}
+    for horizon in within_days:
+        if stabilized:
+            fraction_within[horizon] = (
+                sum(1 for o in stabilized if o.days <= horizon)
+                / len(stabilized)
+            )
+        else:
+            fraction_within[horizon] = 0.0
+    return StabilizationSummary(
+        parameter=parameter,
+        n_samples=len(outcomes),
+        n_stabilized=len(stabilized),
+        mean_scan_index=(mean([o.scan_index for o in stabilized])
+                         if stabilized else None),
+        mean_days=(mean([o.days for o in stabilized])
+                   if stabilized else None),
+        fraction_within=fraction_within,
+    )

@@ -1,0 +1,132 @@
+"""Trajectory-shape taxonomy — a finer lens than stable/dynamic.
+
+The paper's binary stable/dynamic split (§5.1) hides *how* a dynamic
+sample moves.  Its mechanisms imply recognisable shapes, which this
+module classifies from the AV-Rank series alone:
+
+* ``FLAT``      — no movement (the paper's stable class);
+* ``GROWER``    — monotone-ish upward drift (engine latency: detections
+  arriving after first submission);
+* ``DECLINER``  — monotone-ish downward drift (false-positive
+  retractions);
+* ``SPIKE``     — an excursion that returns near its start (FP episodes
+  captured whole, flapping engines);
+* ``CHURN``     — movement without direction (timeout noise around a
+  plateau).
+
+The classifier is intentionally simple — net displacement vs gross
+movement — so its decisions are explainable and testable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.core.avrank import AVRankSeries
+from repro.errors import ConfigError
+
+
+class Trend(Enum):
+    """Trajectory shape classes."""
+
+    FLAT = "flat"
+    GROWER = "grower"
+    DECLINER = "decliner"
+    SPIKE = "spike"
+    CHURN = "churn"
+
+
+@dataclass(frozen=True)
+class TrendParams:
+    """Classifier thresholds.
+
+    ``direction_share``: fraction of gross movement that must be net
+    displacement to call a direction.  ``spike_return``: how close (in
+    ranks) the series must return to its start, relative to its peak
+    excursion, to be a spike.
+    """
+
+    direction_share: float = 0.6
+    spike_return: float = 0.34
+    min_movement: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.direction_share <= 1.0:
+            raise ConfigError("direction_share must be in (0,1]")
+        if not 0.0 <= self.spike_return < 1.0:
+            raise ConfigError("spike_return must be in [0,1)")
+
+
+def classify_trend(
+    series: AVRankSeries, params: TrendParams = TrendParams()
+) -> Trend:
+    """Classify one sample's trajectory shape."""
+    ranks = series.ranks
+    gross = sum(abs(b - a) for a, b in zip(ranks, ranks[1:]))
+    if gross < params.min_movement:
+        return Trend.FLAT
+    net = ranks[-1] - ranks[0]
+    # Peak excursion from the starting rank, in either direction, and
+    # the number of times the trajectory changes direction — a spike is
+    # one out-and-back excursion, churn keeps reversing.
+    excursion = max(abs(r - ranks[0]) for r in ranks)
+    moves = [b - a for a, b in zip(ranks, ranks[1:]) if b != a]
+    reversals = sum(1 for a, b in zip(moves, moves[1:])
+                    if (a > 0) != (b > 0))
+    if (excursion and abs(net) <= params.spike_return * excursion
+            and reversals <= 1):
+        return Trend.SPIKE
+    if abs(net) >= params.direction_share * gross:
+        return Trend.GROWER if net > 0 else Trend.DECLINER
+    return Trend.CHURN
+
+
+def trend_distribution(
+    series: Iterable[AVRankSeries],
+    params: TrendParams = TrendParams(),
+) -> Counter:
+    """Trend class counts over a collection (multi-report samples only)."""
+    counts: Counter = Counter()
+    for s in series:
+        if s.multi:
+            counts[classify_trend(s, params)] += 1
+    return counts
+
+
+def trends_by_file_type(
+    series: Iterable[AVRankSeries],
+    params: TrendParams = TrendParams(),
+) -> dict[str, Counter]:
+    """Per-file-type trend distributions."""
+    out: dict[str, Counter] = {}
+    for s in series:
+        if not s.multi:
+            continue
+        out.setdefault(s.file_type, Counter())[
+            classify_trend(s, params)
+        ] += 1
+    return out
+
+
+def dominant_dynamic_trend(counts: Counter) -> Trend | None:
+    """The most common non-flat trend, or None if everything is flat."""
+    dynamic = [(trend, n) for trend, n in counts.items()
+               if trend is not Trend.FLAT]
+    if not dynamic:
+        return None
+    return max(dynamic, key=lambda item: item[1])[0]
+
+
+def summarize_trends(
+    series: Sequence[AVRankSeries],
+    params: TrendParams = TrendParams(),
+) -> dict[str, float]:
+    """Trend shares over multi-report samples, as fractions."""
+    counts = trend_distribution(series, params)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {trend.value: counts.get(trend, 0) / total for trend in Trend}

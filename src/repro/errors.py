@@ -1,0 +1,104 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-hierarchies mirror the
+package layout: the VirusTotal simulator raises :class:`VTError` subclasses
+(matching the HTTP-level failures the real service returns), the report
+store raises :class:`StoreError` subclasses, and the analysis layer raises
+:class:`AnalysisError` subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A scenario or component was configured with invalid parameters."""
+
+
+# --------------------------------------------------------------------------
+# VirusTotal simulator errors (mirror the real service's API failures)
+# --------------------------------------------------------------------------
+
+
+class VTError(ReproError):
+    """Base class for VirusTotal service simulator errors."""
+
+
+class NotFoundError(VTError):
+    """The requested sample hash is not known to the service (HTTP 404)."""
+
+    def __init__(self, sha256: str) -> None:
+        super().__init__(f"sample not found: {sha256}")
+        self.sha256 = sha256
+
+
+class InvalidHashError(VTError):
+    """The supplied string is not a well-formed SHA-256 hex digest."""
+
+    def __init__(self, value: str) -> None:
+        super().__init__(f"not a valid sha256 hex digest: {value!r}")
+        self.value = value
+
+
+class QuotaExceededError(VTError):
+    """The API key's request quota was exhausted (HTTP 429)."""
+
+    def __init__(self, used: int, limit: int) -> None:
+        super().__init__(f"API quota exceeded: {used}/{limit} requests")
+        self.used = used
+        self.limit = limit
+
+
+class PermissionError_(VTError):
+    """The API key lacks the privilege for the requested endpoint."""
+
+    def __init__(self, endpoint: str) -> None:
+        super().__init__(f"API key lacks privileges for endpoint: {endpoint}")
+        self.endpoint = endpoint
+
+
+# --------------------------------------------------------------------------
+# Report store errors
+# --------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for report-store failures."""
+
+
+class CorruptRecordError(StoreError):
+    """A stored record failed checksum or structural validation."""
+
+
+class UnknownSampleError(StoreError, KeyError):
+    """A sample hash was requested that the store has never ingested."""
+
+    def __init__(self, sha256: str) -> None:
+        StoreError.__init__(self, f"store has no reports for sample {sha256}")
+        self.sha256 = sha256
+
+
+class ShardClosedError(StoreError):
+    """An ingest was attempted on a store that was already finalised."""
+
+
+# --------------------------------------------------------------------------
+# Analysis errors
+# --------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for analysis-layer failures."""
+
+
+class InsufficientDataError(AnalysisError):
+    """An analysis needs more observations than the input provides."""
+
+    def __init__(self, needed: int, got: int, what: str = "observations") -> None:
+        super().__init__(f"need at least {needed} {what}, got {got}")
+        self.needed = needed
+        self.got = got

@@ -1,0 +1,27 @@
+"""AVClass-style family labelling baseline.
+
+The paper's novelty assessment notes that VirusTotal label-analysis
+tooling (AVClass, Sebastián et al., cited as [23]) already exists; this
+subpackage implements that baseline so the examples can compare
+threshold-based binary labelling against family-plurality labelling:
+
+* :mod:`repro.labeling.tokens` — normalise raw engine detection strings
+  into candidate family tokens (alias folding, generic-token removal);
+* :mod:`repro.labeling.families` — plurality voting over tokens, and
+  synthetic detection-string generation for the simulator's engines.
+"""
+
+from repro.labeling.families import (
+    FamilyVote,
+    detection_string,
+    label_family,
+)
+from repro.labeling.tokens import normalize_label, tokenize_label
+
+__all__ = [
+    "FamilyVote",
+    "detection_string",
+    "label_family",
+    "normalize_label",
+    "tokenize_label",
+]

@@ -1,0 +1,222 @@
+"""Dataset-level family labelling — the AVClass-style batch workflow.
+
+:mod:`repro.labeling.families` votes over one report; real labelling runs
+over a corpus, where two more AVClass ideas matter:
+
+* **generic-token discovery** — a token naming a detection *category*
+  rather than a family appears across an implausibly large share of
+  samples; such tokens are learned from the corpus and suppressed;
+* **alias resolution** — two tokens that co-occur on the same samples
+  almost always name the same family; the rarer one is folded into the
+  more common one.
+
+:class:`CorpusLabeler` implements both over ``{sha256: {engine: label}}``
+corpora and produces per-sample :class:`~repro.labeling.families.FamilyVote`
+results plus corpus-level family prevalence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigError
+from repro.labeling.families import FamilyVote, label_family
+from repro.labeling.tokens import normalize_label
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """What the labeller learned from a corpus."""
+
+    #: Tokens suppressed as generic (too widespread to be a family).
+    generic_tokens: frozenset[str]
+    #: Alias -> canonical family mapping.
+    aliases: dict[str, str]
+    #: Samples per surviving family token.
+    family_prevalence: Counter
+
+    def top_families(self, n: int = 10) -> list[tuple[str, int]]:
+        return self.family_prevalence.most_common(n)
+
+
+class CorpusLabeler:
+    """Learn corpus-level token statistics, then label samples.
+
+    Parameters mirror AVClass's defaults in spirit:
+
+    * ``generic_threshold`` — a token seen on more than this fraction of
+      *labelled* samples is generic (families are never the majority of
+      a diverse corpus);
+    * ``alias_cooccurrence`` — fold token B into token A when at least
+      this fraction of B's samples also carry A and A is more common.
+    """
+
+    def __init__(
+        self,
+        generic_threshold: float = 0.35,
+        alias_cooccurrence: float = 0.9,
+        min_token_samples: int = 2,
+    ) -> None:
+        if not 0.0 < generic_threshold <= 1.0:
+            raise ConfigError("generic_threshold must be in (0,1]")
+        if not 0.0 < alias_cooccurrence <= 1.0:
+            raise ConfigError("alias_cooccurrence must be in (0,1]")
+        self.generic_threshold = generic_threshold
+        self.alias_cooccurrence = alias_cooccurrence
+        self.min_token_samples = min_token_samples
+        self._profile: CorpusProfile | None = None
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    def fit(
+        self, corpus: Mapping[str, Mapping[str, str | None]]
+    ) -> CorpusProfile:
+        """Learn generic tokens and aliases from a detection corpus."""
+        token_samples: dict[str, set[str]] = defaultdict(set)
+        labelled_samples: set[str] = set()
+        for sha256, detections in corpus.items():
+            tokens = self._sample_tokens(detections)
+            if tokens:
+                labelled_samples.add(sha256)
+            for token in tokens:
+                token_samples[token].add(sha256)
+
+        n_labelled = max(1, len(labelled_samples))
+        generic = {
+            token for token, shas in token_samples.items()
+            if len(shas) / n_labelled > self.generic_threshold
+        }
+        survivors = {
+            token: shas for token, shas in token_samples.items()
+            if token not in generic
+            and len(shas) >= self.min_token_samples
+        }
+
+        aliases: dict[str, str] = {}
+        # Deterministic canonical order: most samples first, ties broken
+        # alphabetically (set/dict iteration would vary per process).
+        by_count = sorted(survivors, key=lambda t: (-len(survivors[t]), t))
+        for i, canonical in enumerate(by_count):
+            for candidate in by_count[i + 1:]:
+                if candidate in aliases:
+                    continue
+                overlap = survivors[candidate] & survivors[canonical]
+                if (len(overlap) / len(survivors[candidate])
+                        >= self.alias_cooccurrence):
+                    aliases[candidate] = canonical
+
+        prevalence: Counter = Counter()
+        for token, shas in survivors.items():
+            prevalence[aliases.get(token, token)] += len(shas)
+        self._profile = CorpusProfile(
+            generic_tokens=frozenset(generic),
+            aliases=aliases,
+            family_prevalence=prevalence,
+        )
+        return self._profile
+
+    @staticmethod
+    def _sample_tokens(
+        detections: Mapping[str, str | None]
+    ) -> set[str]:
+        tokens: set[str] = set()
+        for label in detections.values():
+            if label:
+                tokens.update(normalize_label(label))
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Labelling
+    # ------------------------------------------------------------------
+
+    @property
+    def profile(self) -> CorpusProfile:
+        if self._profile is None:
+            raise ConfigError("labeler not fitted; call fit() first")
+        return self._profile
+
+    def label(self, detections: Mapping[str, str | None]) -> FamilyVote:
+        """Label one sample using the learned corpus profile."""
+        profile = self.profile
+        cleaned: dict[str, str | None] = {}
+        for engine, raw in detections.items():
+            if not raw:
+                cleaned[engine] = None
+                continue
+            candidates = [
+                profile.aliases.get(token, token)
+                for token in normalize_label(raw)
+                if token not in profile.generic_tokens
+            ]
+            # Re-encode the candidate (if any) as a trivially
+            # re-tokenisable label for the plurality vote.
+            cleaned[engine] = candidates[0] if candidates else None
+        return label_family(cleaned)
+
+    def label_corpus(
+        self, corpus: Mapping[str, Mapping[str, str | None]]
+    ) -> dict[str, FamilyVote]:
+        """Fit (if needed) and label every sample of a corpus."""
+        if self._profile is None:
+            self.fit(corpus)
+        return {sha256: self.label(detections)
+                for sha256, detections in corpus.items()}
+
+
+def accuracy_against_truth(
+    votes: Mapping[str, FamilyVote],
+    truth: Mapping[str, str | None],
+    confident_only: bool = True,
+) -> float:
+    """Fraction of (confident) votes naming the true family.
+
+    Samples with no true family (benign) are excluded, matching how
+    AVClass accuracy is reported.
+    """
+    hits = 0
+    considered = 0
+    for sha256, vote in votes.items():
+        expected = truth.get(sha256)
+        if expected is None:
+            continue
+        if confident_only and not vote.confident:
+            continue
+        considered += 1
+        if vote.family == expected:
+            hits += 1
+    return hits / considered if considered else 0.0
+
+
+def build_corpus_from_store(
+    store, engine_names: Iterable[str], service
+) -> tuple[dict[str, dict[str, str | None]], dict[str, str | None]]:
+    """Materialise a detection-string corpus from a report store.
+
+    Uses each sample's final report; detection strings are synthesised
+    per engine from the sample's ground-truth family (benign samples and
+    undetecting engines contribute ``None``).  Returns (corpus, truth).
+    """
+    from repro.labeling.families import detection_string
+    from repro.vt.filetypes import FILE_TYPES
+
+    names = list(engine_names)
+    corpus: dict[str, dict[str, str | None]] = {}
+    truth: dict[str, str | None] = {}
+    for sha256, reports in store.iter_sample_reports():
+        sample = service.get_sample(sha256)
+        category = FILE_TYPES[sample.file_type].category
+        final = reports[-1]
+        corpus[sha256] = {
+            result.engine: (
+                detection_string(result.engine, sample.family, category,
+                                 sha256)
+                if result.detected else None
+            )
+            for result in final.iter_results(names)
+        }
+        truth[sha256] = sample.family
+    return corpus, truth

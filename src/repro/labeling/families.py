@@ -1,0 +1,113 @@
+"""Family extraction by plurality voting, plus detection-string synthesis.
+
+Two halves:
+
+* :func:`label_family` is the AVClass-style baseline: collect candidate
+  family tokens from every engine's detection string and return the
+  plurality winner (with its support), so users can compare family
+  labelling against the paper's AV-Rank thresholding.
+* :func:`detection_string` is the simulator-side generator: given an
+  engine and a sample's ground-truth family, produce a realistic raw
+  detection string in that engine's naming style.  Styles differ enough
+  across engines to exercise the tokeniser's alias handling.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.labeling.tokens import normalize_label
+
+#: Naming templates per engine "style"; {family}, {plat}, {suffix} slots.
+_STYLES: tuple[str, ...] = (
+    "Trojan.{plat}.{family_cap}.{suffix}",
+    "{plat}/{family_cap}.{suffix_up}!tr",
+    "Gen:Variant.{family_cap}.{num}",
+    "{family_cap}.{suffix_up}",
+    "Trojan:{plat}/{family_cap}.{suffix_up}!MTB",
+    "a variant of {plat}/{family_cap}.{suffix_up}",
+    "HEUR:Trojan.{plat}.{family_cap}.gen",
+    "Mal/{family_cap}-{num}",
+    "{family_cap}.{plat}.{suffix}",
+    "W97M.{family_cap}.{num}",
+)
+
+_PLATFORMS = {
+    "pe": "Win32", "elf": "Linux", "android": "AndroidOS",
+    "document": "Doc", "web": "HTML", "script": "Script",
+    "archive": "Zip", "image": "Img", "other": "Multi",
+}
+
+
+def detection_string(
+    engine_name: str, family: str | None, category: str, sha256: str
+) -> str | None:
+    """A deterministic synthetic detection string.
+
+    Benign verdicts carry no string (``None``).  Engines occasionally
+    emit purely generic names (no family token), as real engines do —
+    that noise is what makes plurality voting non-trivial.
+    """
+    if family is None:
+        return None
+    rng = random.Random(f"label:{engine_name}:{sha256}")
+    if rng.random() < 0.18:
+        # Generic-only detection: no recoverable family token.
+        return rng.choice((
+            "Trojan.Generic.{}".format(rng.randrange(10**7)),
+            "Malicious (score: {})".format(rng.randrange(60, 100)),
+            "Gen:Heur.Kryptik.{}".format(rng.randrange(100)),
+            "Unsafe",
+        ))
+    style = _STYLES[rng.randrange(len(_STYLES))]
+    suffix = "".join(rng.choice("abcdefghij") for _ in range(4))
+    return style.format(
+        family_cap=family.capitalize(),
+        plat=_PLATFORMS.get(category, "Multi"),
+        suffix=suffix,
+        suffix_up=suffix.upper()[:2],
+        num=rng.randrange(1, 9999),
+    )
+
+
+@dataclass(frozen=True)
+class FamilyVote:
+    """Outcome of plurality family voting over one report's strings."""
+
+    family: str | None
+    support: int
+    total_votes: int
+    alternatives: tuple[tuple[str, int], ...]
+
+    @property
+    def confident(self) -> bool:
+        """AVClass-style confidence: plurality with at least 2 votes."""
+        return self.family is not None and self.support >= 2
+
+
+def label_family(detections: dict[str, str | None]) -> FamilyVote:
+    """Plurality family vote over ``{engine: detection_string}``.
+
+    Engines with no detection (benign/undetected) contribute nothing.
+    Each engine votes once — for its *first* candidate token, matching
+    AVClass's one-vote-per-vendor rule.
+    """
+    votes: Counter = Counter()
+    for label in detections.values():
+        if not label:
+            continue
+        candidates = normalize_label(label)
+        if candidates:
+            votes[candidates[0]] += 1
+    if not votes:
+        return FamilyVote(None, 0, 0, ())
+    ranked = votes.most_common()
+    family, support = ranked[0]
+    return FamilyVote(
+        family=family,
+        support=support,
+        total_votes=sum(votes.values()),
+        alternatives=tuple(ranked[1:4]),
+    )

@@ -1,0 +1,61 @@
+"""Detection-string tokenisation and normalisation.
+
+Antivirus detection names are idiosyncratic ("Trojan.Win32.Emotet.abcd",
+"W32/Emotet.AB!tr", "Gen:Variant.Emotet.12") but usually embed a family
+token.  Following the AVClass approach, a label is split on punctuation,
+lower-cased, and filtered against a generic-token list (platform names,
+category words, hex blobs); what survives are candidate family tokens.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Tokens that never identify a family: categories, platforms, verdict
+#: qualifiers, packer markers.  A trimmed version of AVClass's default.
+GENERIC_TOKENS: frozenset[str] = frozenset({
+    "trojan", "troj", "virus", "worm", "backdoor", "adware", "spyware",
+    "malware", "riskware", "rootkit", "ransom", "ransomware", "downloader",
+    "dropper", "dldr", "injector", "banker", "keylogger", "stealer",
+    "agent", "generic", "gen", "genkryptik", "kryptik", "heur",
+    "heuristic", "suspicious", "variant", "behaveslike", "lookslike",
+    "malicious", "application", "program", "unwanted", "potentially",
+    "win32", "win64", "w32", "w64", "msil", "linux", "elf", "android",
+    "andr", "androidos", "osx", "macos", "unix", "script", "js", "vbs",
+    "html", "php", "java", "doc", "docm", "xml", "pdf", "o97m", "x97m",
+    "packed", "packer", "obfuscated", "obfus", "crypt", "cryptor",
+    "small", "tiny", "blacklist", "blacklisted", "malform", "eldorado",
+    "attribute", "highconfidence", "score", "ai", "ml", "cloud", "engine",
+    "pua", "pup", "not", "a", "of", "the", "tool", "hacktool", "grayware",
+    "mtb", "save", "wacatac", "malgent", "siggen", "vho", "possiblethreat",
+})
+
+#: Pure hex / numeric blobs and very short fragments are never families.
+_NOISE = re.compile(r"^(?:[0-9a-f]{4,}|[0-9]+|.{1,2})$")
+
+_SPLIT = re.compile(r"[^0-9a-zA-Z]+")
+
+
+def tokenize_label(label: str) -> list[str]:
+    """Split a raw detection string into lower-case tokens.
+
+    >>> tokenize_label("Trojan.Win32.Emotet.abcd!MTB")
+    ['trojan', 'win32', 'emotet', 'abcd', 'mtb']
+    """
+    return [t.lower() for t in _SPLIT.split(label) if t]
+
+
+def normalize_label(label: str) -> list[str]:
+    """Candidate family tokens of a detection string, noise removed.
+
+    >>> normalize_label("Trojan.Win32.Emotet.abcd!MTB")
+    ['emotet']
+    """
+    candidates = []
+    for token in tokenize_label(label):
+        if token in GENERIC_TOKENS:
+            continue
+        if _NOISE.match(token):
+            continue
+        candidates.append(token)
+    return candidates

@@ -1,0 +1,39 @@
+"""Statistics substrate.
+
+The paper leans on a small set of statistical tools: empirical CDFs
+(Figures 1, 2, 3, 5), box-plot five-number summaries (Figures 4, 6, 7),
+and Spearman rank correlation with significance (Figure 7's interval
+effect, §7.2's engine correlation).  This subpackage implements them from
+scratch — fractional ranking with ties, the t-approximation p-value — and
+the test suite cross-validates each against scipy.
+"""
+
+from repro.stats.bootstrap import ConfidenceInterval, bootstrap_ci, fraction_ci
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.descriptive import (
+    BoxplotStats,
+    boxplot_stats,
+    mean,
+    median,
+    quantile,
+    stdev,
+)
+from repro.stats.ranking import fractional_ranks
+from repro.stats.spearman import SpearmanResult, spearman, spearman_matrix
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "fraction_ci",
+    "EmpiricalCDF",
+    "BoxplotStats",
+    "boxplot_stats",
+    "mean",
+    "median",
+    "quantile",
+    "stdev",
+    "fractional_ranks",
+    "SpearmanResult",
+    "spearman",
+    "spearman_matrix",
+]

@@ -1,0 +1,99 @@
+"""Bootstrap confidence intervals.
+
+The paper reports point estimates from 847 M reports; at scenario scale,
+sampling noise matters, so the analysis layer can attach percentile
+bootstrap intervals to its headline fractions (e.g. the stable/dynamic
+split, the gray fraction at a threshold).  Implemented with numpy
+resampling; deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, InsufficientDataError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A percentile bootstrap interval around a point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    replicates: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def __str__(self) -> str:
+        return (f"{self.estimate:.4f} "
+                f"[{self.low:.4f}, {self.high:.4f}]@{self.confidence:.0%}")
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    replicates: int = 1000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI for ``statistic`` over ``values``."""
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError(f"confidence must be in (0,1), got {confidence}")
+    if replicates < 10:
+        raise ConfigError("need at least 10 bootstrap replicates")
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise InsufficientDataError(1, 0, "values for bootstrap")
+    rng = np.random.default_rng(seed)
+    indexes = rng.integers(0, data.size, size=(replicates, data.size))
+    stats = np.array([statistic(data[row]) for row in indexes])
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(statistic(data)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        replicates=replicates,
+    )
+
+
+def fraction_ci(
+    successes: int,
+    total: int,
+    confidence: float = 0.95,
+    replicates: int = 1000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI for a binomial fraction (e.g. the dynamic share).
+
+    Resamples the Bernoulli outcomes implied by (successes, total)
+    without materialising them: the bootstrap replicate count of
+    successes is Binomial(total, p̂).
+    """
+    if total <= 0:
+        raise InsufficientDataError(1, total, "trials")
+    if not 0 <= successes <= total:
+        raise ConfigError(f"successes {successes} outside [0, {total}]")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError(f"confidence must be in (0,1), got {confidence}")
+    p_hat = successes / total
+    rng = np.random.default_rng(seed)
+    replicated = rng.binomial(total, p_hat, size=replicates) / total
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=p_hat,
+        low=float(np.quantile(replicated, alpha)),
+        high=float(np.quantile(replicated, 1.0 - alpha)),
+        confidence=confidence,
+        replicates=replicates,
+    )

@@ -1,0 +1,65 @@
+"""Agreement and transition counting helpers.
+
+Small utilities shared by the flip analysis (§7.1) and the correlation
+analysis (§7.2): counting transitions in a label sequence and tabulating
+pairwise agreement between two verdict sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def transitions(sequence: Sequence[int]) -> list[tuple[int, int]]:
+    """Consecutive (previous, current) pairs of a sequence."""
+    return list(zip(sequence, sequence[1:]))
+
+
+def count_changes(sequence: Sequence[int]) -> int:
+    """Number of consecutive positions where the value changes."""
+    return sum(1 for a, b in zip(sequence, sequence[1:]) if a != b)
+
+
+@dataclass(frozen=True)
+class AgreementTable:
+    """Pairwise agreement between two verdict sequences.
+
+    ``counts[(a, b)]`` is the number of positions where the first sequence
+    answered ``a`` and the second ``b``.
+    """
+
+    counts: dict[tuple[int, int], int]
+
+    @property
+    def n(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of positions with identical verdicts."""
+        if self.n == 0:
+            return float("nan")
+        agree = sum(c for (a, b), c in self.counts.items() if a == b)
+        return agree / self.n
+
+    def marginal_first(self) -> Counter:
+        out: Counter = Counter()
+        for (a, _), c in self.counts.items():
+            out[a] += c
+        return out
+
+    def marginal_second(self) -> Counter:
+        out: Counter = Counter()
+        for (_, b), c in self.counts.items():
+            out[b] += c
+        return out
+
+
+def agreement_table(
+    first: Iterable[int], second: Iterable[int]
+) -> AgreementTable:
+    """Tabulate pairwise agreement of two aligned verdict sequences."""
+    counts: Counter = Counter(zip(first, second))
+    return AgreementTable(dict(counts))

@@ -1,0 +1,109 @@
+"""Descriptive statistics: moments, quantiles, box-plot summaries.
+
+The paper's box plots (Figures 4, 6, 7) mark the median (orange line), the
+mean (green triangle), the interquartile box and 1.5-IQR whiskers, with
+outliers excluded from the drawing.  :func:`boxplot_stats` computes
+exactly that summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import InsufficientDataError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise InsufficientDataError(1, 0, "values for mean")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator)."""
+    if len(values) < 2:
+        raise InsufficientDataError(2, len(values), "values for stdev")
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data (numpy default).
+
+    ``q`` is in [0, 1].  The input must already be sorted ascending — the
+    callers below compute several quantiles of the same data and sort once.
+    """
+    if not sorted_values:
+        raise InsufficientDataError(1, 0, "values for quantile")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0,1], got {q}")
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    position = q * (n - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high or sorted_values[low] == sorted_values[high]:
+        # Equal endpoints: return exactly, avoiding interpolation round-off.
+        return float(sorted_values[low])
+    frac = position - low
+    return float(sorted_values[low]) * (1 - frac) + float(sorted_values[high]) * frac
+
+
+def median(values: Sequence[float]) -> float:
+    """Median via the interpolated quantile."""
+    return quantile(sorted(values), 0.5)
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus mean, in the paper's box-plot convention."""
+
+    count: int
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outlier_count: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: Iterable[float]) -> BoxplotStats:
+    """Compute the summary a matplotlib-style box plot would draw.
+
+    Whiskers extend to the most extreme data point within 1.5 IQR of the
+    box; anything beyond is counted as an outlier (the paper excludes
+    these from its figures "for conciseness").
+    """
+    data = sorted(values)
+    if not data:
+        raise InsufficientDataError(1, 0, "values for boxplot")
+    q1 = quantile(data, 0.25)
+    q3 = quantile(data, 0.75)
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inliers = [v for v in data if low_fence <= v <= high_fence]
+    # Whiskers extend outward from the box; when every datum on a side is
+    # an outlier (or the interpolated quartile exceeds the data), the
+    # whisker collapses onto the box edge, as matplotlib draws it.
+    whisker_low = min(inliers[0], q1) if inliers else q1
+    whisker_high = max(inliers[-1], q3) if inliers else q3
+    return BoxplotStats(
+        count=len(data),
+        mean=sum(data) / len(data),
+        median=quantile(data, 0.5),
+        q1=q1,
+        q3=q3,
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outlier_count=len(data) - len(inliers),
+    )

@@ -1,0 +1,30 @@
+"""The report store substrate.
+
+The paper cached the premium feed into MongoDB, storing sample metadata
+and scan results separately and compressing aggressively (10.06× — §4.1).
+This subpackage is that pipeline as an embedded library: a compact binary
+record codec (:mod:`repro.store.codec`), monthly shards of zlib-compressed
+record blocks (:mod:`repro.store.shard`), and :class:`ReportStore`
+(:mod:`repro.store.reportstore`) which adds the per-sample index and the
+Table 2 style accounting (:mod:`repro.store.stats`).
+"""
+
+from repro.store.codec import (
+    decode_report,
+    encode_report,
+    verbose_json_size,
+)
+from repro.store.reportstore import ReportStore
+from repro.store.shard import CompressedBlock, MonthlyShard
+from repro.store.stats import MonthStats, StoreStats
+
+__all__ = [
+    "decode_report",
+    "encode_report",
+    "verbose_json_size",
+    "ReportStore",
+    "CompressedBlock",
+    "MonthlyShard",
+    "MonthStats",
+    "StoreStats",
+]

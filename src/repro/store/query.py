@@ -1,0 +1,133 @@
+"""A small query layer over the report store.
+
+The analyses in :mod:`repro.analysis` stream everything; downstream users
+usually want slices — "PE reports from March", "samples whose AV-Rank
+ever exceeded 30".  :class:`ReportQuery` provides a chainable, lazily
+evaluated filter/projection API over a :class:`~repro.store.ReportStore`:
+
+>>> q = (ReportQuery(store)
+...      .file_types("Win32 EXE", "Win32 DLL")
+...      .scanned_between(day_lo=30, day_hi=120)
+...      .min_positives(10))
+>>> for report in q:                      # doctest: +SKIP
+...     ...
+>>> q.count()                             # doctest: +SKIP
+
+Queries are immutable: every refinement returns a new query, so partial
+queries can be shared and extended safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+from repro.errors import ConfigError
+from repro.store.reportstore import ReportStore
+from repro.vt.clock import MINUTES_PER_DAY
+from repro.vt.reports import ScanReport
+
+Predicate = Callable[[ScanReport], bool]
+
+
+@dataclass(frozen=True)
+class ReportQuery:
+    """A lazily evaluated, chainable filter over stored reports."""
+
+    store: ReportStore
+    _predicates: tuple[Predicate, ...] = field(default=())
+
+    # ------------------------------------------------------------------
+    # Refinements
+    # ------------------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "ReportQuery":
+        """Add an arbitrary report predicate."""
+        return replace(self, _predicates=self._predicates + (predicate,))
+
+    def file_types(self, *names: str) -> "ReportQuery":
+        """Keep reports of the given file types."""
+        if not names:
+            raise ConfigError("file_types needs at least one name")
+        wanted = frozenset(names)
+        return self.where(lambda r: r.file_type in wanted)
+
+    def scanned_between(
+        self, day_lo: float = 0.0, day_hi: float = float("inf")
+    ) -> "ReportQuery":
+        """Keep reports scanned within [day_lo, day_hi] of the window."""
+        if day_hi < day_lo:
+            raise ConfigError("day_hi must be >= day_lo")
+        lo = day_lo * MINUTES_PER_DAY
+        hi = day_hi * MINUTES_PER_DAY
+        return self.where(lambda r: lo <= r.scan_time <= hi)
+
+    def min_positives(self, threshold: int) -> "ReportQuery":
+        """Keep reports with AV-Rank at least ``threshold``."""
+        if threshold < 0:
+            raise ConfigError("threshold must be >= 0")
+        return self.where(lambda r: r.positives >= threshold)
+
+    def max_positives(self, threshold: int) -> "ReportQuery":
+        """Keep reports with AV-Rank at most ``threshold``."""
+        if threshold < 0:
+            raise ConfigError("threshold must be >= 0")
+        return self.where(lambda r: r.positives <= threshold)
+
+    def fresh_only(self) -> "ReportQuery":
+        """Keep reports of samples first submitted inside the window."""
+        return self.where(lambda r: r.first_submission_date >= 0)
+
+    def detected_by(self, engine_index: int) -> "ReportQuery":
+        """Keep reports where the engine at ``engine_index`` said
+        malicious."""
+        if engine_index < 0:
+            raise ConfigError("engine_index must be >= 0")
+        return self.where(lambda r: r.label_of(engine_index) == 1)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _match(self, report: ScanReport) -> bool:
+        return all(p(report) for p in self._predicates)
+
+    def __iter__(self) -> Iterator[ScanReport]:
+        for report in self.store.iter_reports():
+            if self._match(report):
+                yield report
+
+    def count(self) -> int:
+        """Number of matching reports."""
+        return sum(1 for _ in self)
+
+    def sample_hashes(self) -> set[str]:
+        """Distinct samples with at least one matching report."""
+        return {report.sha256 for report in self}
+
+    def positives_histogram(self) -> dict[int, int]:
+        """AV-Rank histogram over matching reports."""
+        out: dict[int, int] = {}
+        for report in self:
+            out[report.positives] = out.get(report.positives, 0) + 1
+        return out
+
+    def sample_series(self) -> Iterator[tuple[str, list[ScanReport]]]:
+        """Matching reports grouped per sample, time-sorted.
+
+        Group membership is report-level: a sample appears with exactly
+        its matching reports (use :meth:`sample_hashes` +
+        ``store.reports_for`` for whole-sample retrieval instead).
+        """
+        grouped: dict[str, list[ScanReport]] = {}
+        for report in self:
+            grouped.setdefault(report.sha256, []).append(report)
+        for sha256, reports in grouped.items():
+            reports.sort(key=lambda r: r.scan_time)
+            yield sha256, reports
+
+    def first(self) -> ScanReport | None:
+        """The first matching report in store order, or None."""
+        for report in self:
+            return report
+        return None

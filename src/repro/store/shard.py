@@ -1,0 +1,128 @@
+"""Monthly shards of compressed report blocks.
+
+The paper stores its dataset "by month" (Table 2).  A :class:`MonthlyShard`
+accumulates encoded report records, freezing them into zlib-compressed
+:class:`CompressedBlock` units of a fixed record count.  Blocks are the
+random-access granularity: the store's per-sample index addresses a report
+as ``(month, block, slot)`` and only that block must be decompressed to
+fetch it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ShardClosedError
+from repro.store import codec
+
+#: Default records per compressed block.
+DEFAULT_BLOCK_RECORDS = 256
+
+#: zlib level: 6 is the sweet spot for these highly repetitive records.
+_ZLIB_LEVEL = 6
+
+
+@dataclass(frozen=True)
+class CompressedBlock:
+    """One immutable zlib-compressed run of report records."""
+
+    payload: bytes
+    record_count: int
+    raw_bytes: int
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.payload)
+
+    def records(self) -> list[bytes]:
+        """Decompress and split the block into its records."""
+        return codec.decode_block(zlib.decompress(self.payload))
+
+    @classmethod
+    def from_records(cls, records: list[bytes]) -> "CompressedBlock":
+        framed = codec.encode_block(records)
+        return cls(
+            payload=zlib.compress(framed, _ZLIB_LEVEL),
+            record_count=len(records),
+            raw_bytes=len(framed),
+        )
+
+
+@dataclass
+class MonthlyShard:
+    """All reports of one collection-window month.
+
+    Appended records buffer until ``block_records`` accumulate, then the
+    buffer freezes into a :class:`CompressedBlock`.  ``flush`` freezes a
+    partial buffer; ``close`` flushes and rejects further appends.
+    """
+
+    month: int
+    block_records: int = DEFAULT_BLOCK_RECORDS
+    blocks: list[CompressedBlock] = field(default_factory=list)
+    _buffer: list[bytes] = field(default_factory=list, repr=False)
+    closed: bool = False
+    report_count: int = 0
+    #: Estimated verbose-JSON bytes of everything ingested (Table 2 size).
+    verbose_bytes: int = 0
+    #: Encoded (pre-compression) bytes of everything ingested.
+    encoded_bytes: int = 0
+
+    def append(self, record: bytes, verbose_size: int) -> tuple[int, int]:
+        """Add one encoded record; returns its ``(block, slot)`` address.
+
+        The address is valid immediately: slots in the open buffer belong
+        to the block that the buffer will freeze into.
+        """
+        if self.closed:
+            raise ShardClosedError(f"shard for month {self.month} is closed")
+        block_idx = len(self.blocks)
+        slot = len(self._buffer)
+        self._buffer.append(record)
+        self.report_count += 1
+        self.verbose_bytes += verbose_size
+        self.encoded_bytes += len(record)
+        if len(self._buffer) >= self.block_records:
+            self.flush()
+        return block_idx, slot
+
+    def flush(self) -> None:
+        """Freeze the open buffer into a compressed block."""
+        if self._buffer:
+            self.blocks.append(CompressedBlock.from_records(self._buffer))
+            self._buffer = []
+
+    def close(self) -> None:
+        """Flush and seal the shard."""
+        self.flush()
+        self.closed = True
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Compressed size of all frozen blocks plus the open buffer."""
+        frozen = sum(b.compressed_bytes for b in self.blocks)
+        return frozen + sum(len(r) for r in self._buffer)
+
+    def record_at(self, block_idx: int, slot: int) -> bytes:
+        """Random access to one record by block address."""
+        if block_idx < len(self.blocks):
+            return self.blocks[block_idx].records()[slot]
+        if block_idx == len(self.blocks) and slot < len(self._buffer):
+            return self._buffer[slot]
+        raise IndexError(f"no record at block={block_idx} slot={slot}")
+
+    def block_records_at(self, block_idx: int) -> list[bytes]:
+        """All records of one block (decompressing frozen blocks)."""
+        if block_idx < len(self.blocks):
+            return self.blocks[block_idx].records()
+        if block_idx == len(self.blocks):
+            return list(self._buffer)
+        raise IndexError(f"no block {block_idx}")
+
+    def iter_records(self) -> Iterator[bytes]:
+        """All records in ingest order."""
+        for block in self.blocks:
+            yield from block.records()
+        yield from self._buffer

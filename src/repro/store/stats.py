@@ -1,0 +1,95 @@
+"""Store accounting — the numbers behind the paper's Table 2.
+
+Table 2 reports, per collection-window month, the number of reports and
+their raw size, plus dataset totals and the achieved compression rate
+(10.06×).  :class:`StoreStats` derives all of these from a
+:class:`~repro.store.reportstore.ReportStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vt.clock import COLLECTION_MONTHS, month_label
+
+
+@dataclass(frozen=True)
+class MonthStats:
+    """One Table 2 row."""
+
+    month: int
+    label: str
+    report_count: int
+    verbose_bytes: int
+    compressed_bytes: int
+
+    @property
+    def verbose_gb(self) -> float:
+        return self.verbose_bytes / 1e9
+
+    @property
+    def compressed_gb(self) -> float:
+        return self.compressed_bytes / 1e9
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Whole-store accounting: Table 2 rows plus dataset totals."""
+
+    months: tuple[MonthStats, ...]
+    total_reports: int
+    total_samples: int
+    fresh_samples: int
+    verbose_bytes: int
+    compressed_bytes: int
+
+    @property
+    def compression_rate(self) -> float:
+        """Verbose-JSON bytes over stored compressed bytes (paper: 10.06)."""
+        if self.compressed_bytes == 0:
+            return 0.0
+        return self.verbose_bytes / self.compressed_bytes
+
+    @property
+    def fresh_fraction(self) -> float:
+        """Share of samples first submitted inside the window (paper: 91.76 %)."""
+        if self.total_samples == 0:
+            return 0.0
+        return self.fresh_samples / self.total_samples
+
+
+def compute_store_stats(store) -> StoreStats:
+    """Build :class:`StoreStats` from a report store.
+
+    Accepts any object with the ReportStore accounting surface (``shards``,
+    ``sample_count``, ``fresh_sample_count``).
+    """
+    months = []
+    total_reports = 0
+    verbose = 0
+    compressed = 0
+    for month in range(COLLECTION_MONTHS):
+        shard = store.shards.get(month)
+        if shard is None:
+            months.append(MonthStats(month, month_label(month), 0, 0, 0))
+            continue
+        months.append(
+            MonthStats(
+                month=month,
+                label=month_label(month),
+                report_count=shard.report_count,
+                verbose_bytes=shard.verbose_bytes,
+                compressed_bytes=shard.compressed_bytes,
+            )
+        )
+        total_reports += shard.report_count
+        verbose += shard.verbose_bytes
+        compressed += shard.compressed_bytes
+    return StoreStats(
+        months=tuple(months),
+        total_reports=total_reports,
+        total_samples=store.sample_count,
+        fresh_samples=store.fresh_sample_count,
+        verbose_bytes=verbose,
+        compressed_bytes=compressed,
+    )

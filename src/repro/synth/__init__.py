@@ -1,0 +1,37 @@
+"""Synthetic workload generation.
+
+The paper's dataset is the full 14-month VirusTotal submission stream;
+this subpackage generates a statistically faithful, scaled-down stand-in:
+sample populations matching Table 3's file-type mix and Figure 1's
+reports-per-sample distribution (:mod:`repro.synth.population`), latent
+ground truth and family assignment (:mod:`repro.synth.groundtruth`),
+submission/rescan schedules (:mod:`repro.synth.submissions`) and scenario
+presets bundling everything (:mod:`repro.synth.scenario`).
+"""
+
+from repro.synth.scenario import (
+    ScenarioConfig,
+    dynamics_scenario,
+    paper_scenario,
+    tiny_scenario,
+)
+from repro.synth.population import PopulationGenerator, SampleSpec
+from repro.synth.trace import (
+    export_scenario_trace,
+    export_trace,
+    load_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "ScenarioConfig",
+    "dynamics_scenario",
+    "paper_scenario",
+    "tiny_scenario",
+    "PopulationGenerator",
+    "SampleSpec",
+    "export_scenario_trace",
+    "export_trace",
+    "load_trace",
+    "replay_trace",
+]

@@ -1,0 +1,91 @@
+"""Latent ground truth for synthetic samples.
+
+Each sample carries a hidden truth the analyses never read directly —
+whether it is malicious and, if so, which malware family it belongs to.
+Family names feed the AVClass-style baseline labeller
+(:mod:`repro.labeling`), which reconstructs them from noisy per-engine
+detection strings, and the per-category family pools below use real-world
+family names typical of each file-type category.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.vt.filetypes import FILE_TYPES
+
+#: Malware family pools per file-type category.
+FAMILY_POOLS: dict[str, tuple[str, ...]] = {
+    "pe": (
+        "emotet", "agenttesla", "formbook", "redline", "lokibot",
+        "qakbot", "trickbot", "remcos", "njrat", "nanocore",
+        "azorult", "raccoon", "smokeloader", "gandcrab", "stop",
+        "berbew", "virut", "sality", "upatre", "zbot",
+    ),
+    "elf": (
+        "mirai", "gafgyt", "tsunami", "xorddos", "mozi",
+        "hajime", "dofloo", "setag", "coinminer", "kinsing",
+    ),
+    "android": (
+        "hiddad", "joker", "cerberus", "anubis", "triada",
+        "hummingbad", "ewind", "dnotua", "smsreg", "necro",
+    ),
+    "document": (
+        "valyria", "donoff", "powload", "sagent", "alien",
+        "pdfka", "phish", "urlmal", "exploit_cve", "obfsobj",
+    ),
+    "web": (
+        "faceliker", "redirector", "cryxos", "coinhive", "iframe",
+        "scrinject", "phishing", "clickjack", "seoredir", "fakejquery",
+    ),
+    "script": (
+        "powdow", "valyria", "nemucod", "locky_dl", "psdownloader",
+        "obfus", "wscript", "autoit", "vbsdropper", "jsminer",
+    ),
+    "archive": (
+        "zipbomb", "nemucod", "dropper", "phishkit", "packedexe",
+        "mailarc", "spamzip", "bundlore", "installcore", "archsmuggle",
+    ),
+    "image": (
+        "stegoload", "polyglot", "exifshell", "svgphish", "icoloader",
+    ),
+    "other": (
+        "generic", "miner", "dropper", "packed", "dialer",
+        "riskware", "adware", "pua", "heur", "crypt",
+    ),
+}
+
+
+def family_for(
+    rng: random.Random, file_type: str
+) -> str:
+    """Draw a malware family appropriate for a file type.
+
+    Family frequency is Zipf-like: the first families of each pool are
+    far more common, as in real feeds where a handful of families
+    dominate.
+    """
+    category = FILE_TYPES[file_type].category
+    pool = FAMILY_POOLS.get(category, FAMILY_POOLS["other"])
+    weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+    x = rng.random() * sum(weights)
+    acc = 0.0
+    for name, w in zip(pool, weights):
+        acc += w
+        if x < acc:
+            return name
+    return pool[-1]
+
+
+#: Median file sizes per category (bytes), for Table 2 accounting.
+MEDIAN_SIZE_BYTES: dict[str, int] = {
+    "pe": 950_000,
+    "elf": 420_000,
+    "android": 3_800_000,
+    "document": 600_000,
+    "web": 45_000,
+    "script": 18_000,
+    "archive": 1_500_000,
+    "image": 250_000,
+    "other": 120_000,
+}

@@ -1,0 +1,81 @@
+"""The VirusTotal service simulator substrate.
+
+The paper's measurement was driven by VirusTotal's paid premium feed; that
+feed cannot be redistributed, so this subpackage re-creates the service end
+to end: a minute-resolution simulation clock (:mod:`repro.vt.clock`), the
+file-type catalogue VT tags reports with (:mod:`repro.vt.filetypes`), a
+fleet of 70 behavioural antivirus engines (:mod:`repro.vt.engines`), sample
+and scan-report records (:mod:`repro.vt.samples`, :mod:`repro.vt.reports`),
+the scanning service itself (:mod:`repro.vt.service`), the three public
+APIs whose update rules the paper's Table 1 documents
+(:mod:`repro.vt.api`), and the premium per-minute feed the authors consumed
+(:mod:`repro.vt.feed`).
+"""
+
+from repro.vt.clock import (
+    COLLECTION_END,
+    COLLECTION_MONTHS,
+    COLLECTION_START,
+    MINUTES_PER_DAY,
+    SimulationClock,
+    day_of,
+    minute_of_day,
+    minutes,
+    month_index,
+    month_label,
+)
+from repro.vt.filetypes import (
+    FILE_TYPES,
+    PE_FILE_TYPES,
+    TOP20_FILE_TYPES,
+    FileTypeProfile,
+    file_type_profile,
+    is_pe_type,
+)
+from repro.vt.engines import Engine, EngineFleet, default_fleet
+from repro.vt.samples import Sample, sha256_of
+from repro.vt.reports import (
+    LABEL_BENIGN,
+    LABEL_MALICIOUS,
+    LABEL_UNDETECTED,
+    EngineResult,
+    ScanReport,
+)
+from repro.vt.service import VirusTotalService
+from repro.vt.api import ReportAPI, RescanAPI, UploadAPI, VTClient
+from repro.vt.feed import PremiumFeed
+
+__all__ = [
+    "COLLECTION_END",
+    "COLLECTION_MONTHS",
+    "COLLECTION_START",
+    "MINUTES_PER_DAY",
+    "SimulationClock",
+    "day_of",
+    "minute_of_day",
+    "minutes",
+    "month_index",
+    "month_label",
+    "FILE_TYPES",
+    "PE_FILE_TYPES",
+    "TOP20_FILE_TYPES",
+    "FileTypeProfile",
+    "file_type_profile",
+    "is_pe_type",
+    "Engine",
+    "EngineFleet",
+    "default_fleet",
+    "Sample",
+    "sha256_of",
+    "LABEL_BENIGN",
+    "LABEL_MALICIOUS",
+    "LABEL_UNDETECTED",
+    "EngineResult",
+    "ScanReport",
+    "VirusTotalService",
+    "ReportAPI",
+    "RescanAPI",
+    "UploadAPI",
+    "VTClient",
+    "PremiumFeed",
+]

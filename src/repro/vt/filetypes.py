@@ -1,0 +1,266 @@
+"""The VirusTotal file-type catalogue.
+
+Every VT scan report carries a file-type tag assigned by the service; the
+paper observed 351 distinct tags, with the top 20 covering 87 % of samples
+(Table 3).  This module reproduces that catalogue: the top-20 types carry
+the paper's exact sample shares, the ``NULL`` tag (untyped submissions)
+carries its 9.6 % share, and the remaining mass is spread over 330
+procedurally named minor types so the catalogue totals 351 tags.
+
+Each type also carries a :class:`FileTypeProfile` describing the *label
+dynamics* the paper measured for it (Figure 6): how likely samples of the
+type are malicious, how many engines eventually detect its malware, how
+fast detections roll in, and how prone benign samples are to false-positive
+episodes.  These parameters are the calibration surface for the synthetic
+workload — see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+# Engine/type interaction is expressed through coarse categories: each
+# engine has per-category affinity multipliers (see repro.vt.engines).
+CATEGORIES = (
+    "pe",        # Windows portable executables
+    "elf",       # Linux executables / shared objects
+    "android",   # DEX / APK
+    "document",  # PDF, DOCX, EPUB
+    "web",       # HTML, PHP, XML
+    "script",    # TXT-ish text payloads, JSON, LNK
+    "archive",   # ZIP, GZIP
+    "image",     # JPEG, FPX
+    "other",     # NULL and the long tail
+)
+
+
+@dataclass(frozen=True)
+class FileTypeProfile:
+    """Calibrated behaviour of one VirusTotal file type.
+
+    The fields below are the knobs DESIGN.md §4 tunes so the simulator
+    reproduces the paper's per-type dynamics (Figure 6) and threshold
+    behaviour (Figure 8).  All probabilities are per-sample.
+    """
+
+    name: str
+    category: str
+    #: Share of all samples carrying this type (percent, Table 3 column 3).
+    sample_share: float
+    #: Relative propensity of this type's samples to be rescanned.  Shapes
+    #: the reports column of Table 3 (e.g. Win32 DLL: ~4 reports/sample).
+    rescan_boost: float = 1.0
+    #: Probability a sample of this type is malicious.
+    malicious_prob: float = 0.35
+    #: Probability *high-mode* (broad-coverage) malware of this type is
+    #: already fully signatured when first submitted (it then scans stable
+    #: at plateau).  Low-mode malware uses the fleet-wide
+    #: ``BehaviorParams.low_mode_known_prob`` instead.
+    known_prob: float = 0.30
+    #: Probability the detection plateau is "low mode" (a handful of
+    #: engines, PUA-style) rather than broad fleet coverage.
+    plateau_low_weight: float = 0.45
+    #: Mean fraction of the *eligible* fleet detecting at plateau in high
+    #: mode.  Large for PE (broad coverage), small for images.
+    plateau_high_frac: float = 0.45
+    #: Mean fraction of the plateau already detected at the first scan of a
+    #: *fresh, not-yet-known* malicious sample.
+    initial_frac_mean: float = 0.55
+    #: Timescale (days) over which the remaining engines pick the sample
+    #: up.  Short => few large AV-Rank jumps (high adjacent δ, e.g. DLL);
+    #: long => gradual drift (low δ but comparable Δ, e.g. TXT/ZIP).
+    growth_days: float = 25.0
+    #: Probability a benign sample suffers a false-positive episode (a few
+    #: engines flag it, then retract after days–weeks).
+    fp_episode_prob: float = 0.06
+    #: Multiplier on per-engine instability churn for this type (drives
+    #: Figure 10's per-type flip-ratio contrasts, e.g. Arcabit on ELF).
+    churn_scale: float = 1.0
+    #: Per-type override of the minimum initial detectors for fresh
+    #: high-mode malware (None = the fleet-wide BehaviorParams floor).
+    #: PE malware starts highly detected, which is why the paper's gray
+    #: fraction for PE stays under 10 % for every threshold up to 24.
+    initial_floor: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ConfigError(f"unknown category {self.category!r} for {self.name}")
+        for attr in (
+            "malicious_prob",
+            "known_prob",
+            "plateau_low_weight",
+            "plateau_high_frac",
+            "initial_frac_mean",
+            "fp_episode_prob",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{self.name}.{attr} must be in [0,1], got {value}")
+        if self.sample_share < 0:
+            raise ConfigError(f"{self.name}.sample_share must be >= 0")
+
+
+def _top20() -> list[FileTypeProfile]:
+    """The paper's Table 3 top-20 types with calibrated dynamics profiles."""
+    P = FileTypeProfile
+    return [
+        # PE family: broad coverage, high dynamics (Fig 6: Δ mean 14.08 for
+        # Win32 EXE; DLL has the largest adjacent jumps, δ mean 3.25).
+        P("Win32 EXE", "pe", 25.2139, rescan_boost=1.7, malicious_prob=0.45,
+          known_prob=0.40, plateau_low_weight=0.22, plateau_high_frac=0.72,
+          initial_frac_mean=0.52, growth_days=10.0, fp_episode_prob=0.077, initial_floor=22),
+        P("TXT", "script", 12.8777, rescan_boost=1.3, malicious_prob=0.22,
+          known_prob=0.18, plateau_low_weight=0.60, plateau_high_frac=0.40,
+          initial_frac_mean=0.45, growth_days=48.0, fp_episode_prob=0.055),
+        P("HTML", "web", 9.7600, rescan_boost=1.2, malicious_prob=0.30,
+          known_prob=0.17, plateau_low_weight=0.52, plateau_high_frac=0.44,
+          initial_frac_mean=0.45, growth_days=30.0, fp_episode_prob=0.066),
+        P("ZIP", "archive", 5.5398, rescan_boost=2.6, malicious_prob=0.30,
+          known_prob=0.17, plateau_low_weight=0.52, plateau_high_frac=0.45,
+          initial_frac_mean=0.42, growth_days=55.0, fp_episode_prob=0.055),
+        P("PDF", "document", 3.9489, rescan_boost=1.7, malicious_prob=0.28,
+          known_prob=0.18, plateau_low_weight=0.50, plateau_high_frac=0.46,
+          initial_frac_mean=0.45, growth_days=30.0, fp_episode_prob=0.055),
+        P("XML", "web", 3.8589, rescan_boost=1.1, malicious_prob=0.16,
+          known_prob=0.20, plateau_low_weight=0.62, plateau_high_frac=0.22,
+          initial_frac_mean=0.48, growth_days=40.0, fp_episode_prob=0.044),
+        P("Win32 DLL", "pe", 2.7766, rescan_boost=4.0, malicious_prob=0.48,
+          known_prob=0.38, plateau_low_weight=0.22, plateau_high_frac=0.72,
+          initial_frac_mean=0.52, growth_days=6.0, fp_episode_prob=0.088, initial_floor=18),
+        P("JSON", "script", 2.5284, rescan_boost=1.2, malicious_prob=0.08,
+          known_prob=0.25, plateau_low_weight=0.80, plateau_high_frac=0.12,
+          initial_frac_mean=0.5, growth_days=60.0, fp_episode_prob=0.028),
+        P("DEX", "android", 2.2345, rescan_boost=1.4, malicious_prob=0.40,
+          known_prob=0.18, plateau_low_weight=0.45, plateau_high_frac=0.48,
+          initial_frac_mean=0.45, growth_days=25.0, fp_episode_prob=0.055),
+        P("ELF executable", "elf", 1.9266, rescan_boost=1.15, malicious_prob=0.45,
+          known_prob=0.17, plateau_low_weight=0.42, plateau_high_frac=0.52,
+          initial_frac_mean=0.45, growth_days=22.0, fp_episode_prob=0.072,
+          churn_scale=1.8),
+        P("Win64 EXE", "pe", 1.4529, rescan_boost=3.4, malicious_prob=0.45,
+          known_prob=0.25, plateau_low_weight=0.34, plateau_high_frac=0.58,
+          initial_frac_mean=0.42, growth_days=14.0, fp_episode_prob=0.077, initial_floor=22),
+        P("Win64 DLL", "pe", 1.1879, rescan_boost=2.6, malicious_prob=0.46,
+          known_prob=0.38, plateau_low_weight=0.22, plateau_high_frac=0.70,
+          initial_frac_mean=0.52, growth_days=10.0, fp_episode_prob=0.083, initial_floor=18),
+        P("ELF shared library", "elf", 1.0139, rescan_boost=1.1,
+          malicious_prob=0.20, known_prob=0.25, plateau_low_weight=0.70,
+          plateau_high_frac=0.20, initial_frac_mean=0.5, growth_days=35.0,
+          fp_episode_prob=0.033),
+        P("EPUB", "document", 0.9268, rescan_boost=1.7, malicious_prob=0.06,
+          known_prob=0.28, plateau_low_weight=0.85, plateau_high_frac=0.10,
+          initial_frac_mean=0.55, growth_days=40.0, fp_episode_prob=0.022),
+        P("LNK", "script", 0.8612, rescan_boost=1.15, malicious_prob=0.42,
+          known_prob=0.18, plateau_low_weight=0.50, plateau_high_frac=0.35,
+          initial_frac_mean=0.5, growth_days=20.0, fp_episode_prob=0.050),
+        P("FPX", "image", 0.7643, rescan_boost=1.3, malicious_prob=0.05,
+          known_prob=0.28, plateau_low_weight=0.88, plateau_high_frac=0.08,
+          initial_frac_mean=0.55, growth_days=45.0, fp_episode_prob=0.022),
+        P("PHP", "web", 0.6959, rescan_boost=1.08, malicious_prob=0.35,
+          known_prob=0.22, plateau_low_weight=0.62, plateau_high_frac=0.22,
+          initial_frac_mean=0.52, growth_days=30.0, fp_episode_prob=0.033),
+        P("DOCX", "document", 0.3792, rescan_boost=1.6, malicious_prob=0.30,
+          known_prob=0.18, plateau_low_weight=0.48, plateau_high_frac=0.36,
+          initial_frac_mean=0.48, growth_days=25.0, fp_episode_prob=0.055),
+        P("GZIP", "archive", 0.3790, rescan_boost=1.6, malicious_prob=0.12,
+          known_prob=0.25, plateau_low_weight=0.75, plateau_high_frac=0.14,
+          initial_frac_mean=0.52, growth_days=45.0, fp_episode_prob=0.033),
+        P("JPEG", "image", 0.3547, rescan_boost=1.4, malicious_prob=0.04,
+          known_prob=0.30, plateau_low_weight=0.90, plateau_high_frac=0.06,
+          initial_frac_mean=0.55, growth_days=50.0, fp_episode_prob=0.017),
+    ]
+
+
+#: Number of distinct file-type tags the paper observed.
+TOTAL_FILE_TYPE_COUNT = 351
+
+#: Sample share (percent) of the NULL (untyped) tag in Table 3.
+NULL_SHARE = 9.6048
+
+#: Sample share (percent) of the "Others" row in Table 3, spread over the
+#: procedurally generated minor types.
+OTHERS_SHARE = 11.7140
+
+
+def _minor_types() -> list[FileTypeProfile]:
+    """The 330 minor types sharing Table 3's "Others" mass.
+
+    Shares decay geometrically so a handful of "medium" types exist along
+    with a very long tail, mirroring the real catalogue.
+    """
+    count = TOTAL_FILE_TYPE_COUNT - 20 - 1  # minus top-20 and NULL
+    ratio = 0.98
+    weights = [ratio**i for i in range(count)]
+    scale = OTHERS_SHARE / sum(weights)
+    types = []
+    for i, w in enumerate(weights):
+        types.append(
+            FileTypeProfile(
+                name=f"TYPE_{i + 21:03d}",
+                category="other",
+                sample_share=w * scale,
+                rescan_boost=0.6,
+                malicious_prob=0.15,
+                known_prob=0.55,
+                plateau_low_weight=0.75,
+                plateau_high_frac=0.15,
+                initial_frac_mean=0.55,
+                growth_days=40.0,
+                fp_episode_prob=0.017,
+            )
+        )
+    return types
+
+
+_NULL_TYPE = FileTypeProfile(
+    name="NULL",
+    category="other",
+    sample_share=NULL_SHARE,
+    rescan_boost=0.75,
+    malicious_prob=0.18,
+    known_prob=0.55,
+    plateau_low_weight=0.70,
+    plateau_high_frac=0.18,
+    initial_frac_mean=0.55,
+    growth_days=35.0,
+    fp_episode_prob=0.017,
+)
+
+#: Ordered catalogue of every file type: top-20, NULL, then the minor tail.
+FILE_TYPES: dict[str, FileTypeProfile] = {
+    p.name: p for p in (*_top20(), _NULL_TYPE, *_minor_types())
+}
+
+#: The paper's top-20 type names, in Table 3 order.
+TOP20_FILE_TYPES: tuple[str, ...] = tuple(p.name for p in _top20())
+
+#: The types the paper folds together as "PE files" in §5.4.3.
+PE_FILE_TYPES: frozenset[str] = frozenset(
+    {"Win32 EXE", "Win32 DLL", "Win64 EXE", "Win64 DLL"}
+)
+
+
+def file_type_profile(name: str) -> FileTypeProfile:
+    """Look up the profile for a file-type tag.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown tags so typos in
+    scenario configs fail fast.
+    """
+    try:
+        return FILE_TYPES[name]
+    except KeyError:
+        raise ConfigError(f"unknown file type: {name!r}") from None
+
+
+def is_pe_type(name: str) -> bool:
+    """Whether ``name`` belongs to the paper's PE grouping (§5.4.3)."""
+    return name in PE_FILE_TYPES
+
+
+def sample_share_weights() -> tuple[tuple[str, ...], tuple[float, ...]]:
+    """Parallel (names, weights) tuples for drawing file types by share."""
+    names = tuple(FILE_TYPES)
+    weights = tuple(FILE_TYPES[n].sample_share for n in names)
+    return names, weights

@@ -1,0 +1,161 @@
+"""Scan-report records — the unit of the paper's 847-million-row dataset.
+
+A :class:`ScanReport` mirrors the fields of a real VirusTotal file report
+that the paper's analyses consume: the sample's hash, its file-type tag,
+the scan timestamp, the ``positives`` count (the paper's **AV-Rank**), the
+``total`` number of engines that responded, the three Table 1 metadata
+fields, and the per-engine verdicts.
+
+Per-engine verdicts are stored densely: one byte per engine in the fleet's
+fixed order (values encode malicious / benign / undetected), plus a vector
+of engine signature-database versions so the analysis layer can test
+whether a label flip co-occurred with an engine update (§5.5, cause ii).
+A dense vector instead of a name-keyed dict keeps a million-report run in
+tens of megabytes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import CorruptRecordError
+
+#: Verdict alphabet used throughout the library.
+LABEL_MALICIOUS = 1
+LABEL_BENIGN = 0
+LABEL_UNDETECTED = -1
+
+#: Byte encoding of verdicts inside ScanReport.labels.
+_BYTE_OF_LABEL = {LABEL_BENIGN: 0, LABEL_MALICIOUS: 1, LABEL_UNDETECTED: 2}
+_LABEL_OF_BYTE = {0: LABEL_BENIGN, 1: LABEL_MALICIOUS, 2: LABEL_UNDETECTED}
+
+
+def encode_labels(labels: Sequence[int]) -> bytes:
+    """Pack a sequence of verdicts into the dense byte encoding."""
+    try:
+        return bytes(_BYTE_OF_LABEL[v] for v in labels)
+    except KeyError as exc:
+        raise CorruptRecordError(f"invalid verdict value: {exc.args[0]}") from None
+
+
+def decode_labels(blob: bytes) -> list[int]:
+    """Unpack the dense byte encoding back into verdicts."""
+    try:
+        return [_LABEL_OF_BYTE[b] for b in blob]
+    except KeyError as exc:
+        raise CorruptRecordError(f"invalid verdict byte: {exc.args[0]}") from None
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """One engine's verdict within a scan report."""
+
+    engine: str
+    label: int
+    version: int
+    detection_name: str | None = None
+
+    @property
+    def detected(self) -> bool:
+        """Whether the engine flagged the sample as malicious."""
+        return self.label == LABEL_MALICIOUS
+
+    @property
+    def responded(self) -> bool:
+        """Whether the engine produced a verdict at all (no timeout)."""
+        return self.label != LABEL_UNDETECTED
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """One VirusTotal analysis of one sample at one point in time."""
+
+    sha256: str
+    file_type: str
+    scan_time: int
+    #: Number of engines answering "malicious" — the paper's AV-Rank,
+    #: VT's ``positives`` field.
+    positives: int
+    #: Number of engines that responded (``positives`` denominator).
+    total: int
+    #: Dense per-engine verdicts in fleet order (see encode_labels).
+    labels: bytes
+    #: Per-engine signature-database versions in fleet order.
+    versions: tuple[int, ...]
+    # Table 1 metadata fields.
+    first_submission_date: int = 0
+    last_submission_date: int = 0
+    last_analysis_date: int = 0
+    times_submitted: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.versions):
+            raise CorruptRecordError(
+                f"labels/versions length mismatch: "
+                f"{len(self.labels)} != {len(self.versions)}"
+            )
+        if not 0 <= self.positives <= self.total <= len(self.labels):
+            raise CorruptRecordError(
+                f"inconsistent counts: positives={self.positives} "
+                f"total={self.total} engines={len(self.labels)}"
+            )
+
+    @property
+    def av_rank(self) -> int:
+        """Alias for ``positives`` using the paper's terminology."""
+        return self.positives
+
+    def label_of(self, engine_idx: int) -> int:
+        """Verdict of the engine at fleet index ``engine_idx``."""
+        return _LABEL_OF_BYTE[self.labels[engine_idx]]
+
+    def engine_labels(self) -> list[int]:
+        """All verdicts in fleet order."""
+        return decode_labels(self.labels)
+
+    def iter_results(self, engine_names: Sequence[str]) -> Iterator[EngineResult]:
+        """Yield named per-engine results, given the fleet's name order."""
+        if len(engine_names) != len(self.labels):
+            raise CorruptRecordError(
+                f"fleet size {len(engine_names)} does not match report "
+                f"with {len(self.labels)} engines"
+            )
+        for i, name in enumerate(engine_names):
+            yield EngineResult(name, _LABEL_OF_BYTE[self.labels[i]], self.versions[i])
+
+    def to_record(self) -> dict:
+        """Serialise to the plain-value record stored by repro.store."""
+        return {
+            "sha256": self.sha256,
+            "file_type": self.file_type,
+            "scan_time": self.scan_time,
+            "positives": self.positives,
+            "total": self.total,
+            "labels": self.labels,
+            "versions": array("I", self.versions).tobytes(),
+            "first_submission_date": self.first_submission_date,
+            "last_submission_date": self.last_submission_date,
+            "last_analysis_date": self.last_analysis_date,
+            "times_submitted": self.times_submitted,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ScanReport":
+        """Rebuild a report from :meth:`to_record` output."""
+        versions = array("I")
+        versions.frombytes(record["versions"])
+        return cls(
+            sha256=record["sha256"],
+            file_type=record["file_type"],
+            scan_time=record["scan_time"],
+            positives=record["positives"],
+            total=record["total"],
+            labels=record["labels"],
+            versions=tuple(versions),
+            first_submission_date=record["first_submission_date"],
+            last_submission_date=record["last_submission_date"],
+            last_analysis_date=record["last_analysis_date"],
+            times_submitted=record["times_submitted"],
+        )

@@ -1,0 +1,176 @@
+"""The VirusTotal scanning service simulator.
+
+:class:`VirusTotalService` owns the sample registry and the engine fleet,
+and produces :class:`~repro.vt.reports.ScanReport` records.  Its three
+entry points implement exactly the paper's Table 1 semantics:
+
+==========  ===================  =====================  ================
+operation   last_analysis_date   last_submission_date   times_submitted
+==========  ===================  =====================  ================
+upload      update               update                 increment
+rescan      update               unchanged              unchanged
+report      unchanged            unchanged              unchanged
+==========  ===================  =====================  ================
+
+Every *analysis* (upload or rescan) fans the sample out to all 70 engines:
+each engine either times out (probability ``1 - activity``, reported as
+*undetected*) or answers with its current verdict from the sample's
+:class:`~repro.vt.behavior.DetectionPlan`.  The ``positives`` count over
+responding engines is the paper's AV-Rank.
+
+Listeners (e.g. the premium feed) receive every newly generated report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import NotFoundError
+from repro.vt.behavior import BehaviorContext, BehaviorParams, build_plan
+from repro.vt.engines import EngineFleet, default_fleet
+from repro.vt.reports import ScanReport
+from repro.vt.samples import Sample, validate_sha256
+
+ReportListener = Callable[[ScanReport], None]
+
+
+class VirusTotalService:
+    """An in-process stand-in for the VirusTotal backend."""
+
+    #: How often a copying follower's availability tracks its leader's.
+    COPIED_AVAILABILITY_FIDELITY = 0.9
+
+    def __init__(
+        self,
+        fleet: EngineFleet | None = None,
+        params: BehaviorParams | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.fleet = fleet if fleet is not None else default_fleet(seed)
+        self.params = params if params is not None else BehaviorParams()
+        self.seed = seed
+        self.ctx = BehaviorContext(self.fleet, self.params, seed)
+        self._samples: dict[str, Sample] = {}
+        self._last_report: dict[str, ScanReport] = {}
+        self._listeners: list[ReportListener] = []
+        self.reports_generated = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+
+    def register(self, sample: Sample) -> None:
+        """Make a sample known to the service without submitting it."""
+        self._samples[sample.sha256] = sample
+
+    def known(self, sha256: str) -> bool:
+        """Whether the service has ever seen this hash."""
+        return validate_sha256(sha256) in self._samples
+
+    def get_sample(self, sha256: str) -> Sample:
+        """Look up a registered sample, raising NotFoundError otherwise."""
+        key = validate_sha256(sha256)
+        try:
+            return self._samples[key]
+        except KeyError:
+            raise NotFoundError(key) from None
+
+    def samples(self) -> Iterable[Sample]:
+        """All registered samples."""
+        return self._samples.values()
+
+    # ------------------------------------------------------------------
+    # Listeners (feed integration)
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: ReportListener) -> None:
+        """Subscribe a callable to every newly generated report."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ReportListener) -> None:
+        self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, sample: Sample, timestamp: int) -> ScanReport:
+        """Run all engines over a sample and emit a report."""
+        if sample.plan is None:
+            sample.plan = build_plan(sample, self.ctx)
+        plan = sample.plan
+        fleet = self.fleet
+        rng = plan.scan_rng
+        n = len(fleet)
+        labels = bytearray(n)
+        engines = fleet.engines
+        # Per-engine availability; one draw per engine keeps the sample's
+        # random stream aligned across scans.
+        active = [rng.random() < engines[idx].activity for idx in range(n)]
+        # OEM followers share infrastructure with their leader: when the
+        # copy rule fired for this sample, the follower's availability
+        # tracks the leader's most of the time (see DetectionPlan.copied).
+        for follower in sorted(plan.copied):
+            if rng.random() < self.COPIED_AVAILABILITY_FIDELITY:
+                active[follower] = active[plan.copied[follower]]
+        positives = 0
+        total = 0
+        for idx in range(n):
+            if not active[idx]:
+                labels[idx] = 2  # undetected / timeout
+                continue
+            total += 1
+            verdict = plan.label_at(idx, timestamp)
+            if verdict:
+                labels[idx] = 1
+                positives += 1
+        versions = tuple(fleet.version_at(i, timestamp) for i in range(n))
+        sample.record_analysis(timestamp)
+        report = ScanReport(
+            sha256=sample.sha256,
+            file_type=sample.file_type,
+            scan_time=timestamp,
+            positives=positives,
+            total=total,
+            labels=bytes(labels),
+            versions=versions,
+            first_submission_date=sample.first_seen,
+            last_submission_date=(
+                sample.last_submission_date
+                if sample.last_submission_date is not None
+                else sample.first_seen
+            ),
+            last_analysis_date=timestamp,
+            times_submitted=max(sample.times_submitted, 1),
+        )
+        self._last_report[sample.sha256] = report
+        self.reports_generated += 1
+        for listener in self._listeners:
+            listener(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Table 1 operations
+    # ------------------------------------------------------------------
+
+    def upload(self, sample: Sample | str, timestamp: int) -> ScanReport:
+        """Submit a file: registers it if new, updates all three Table 1
+        fields, and runs an analysis."""
+        if isinstance(sample, str):
+            sample = self.get_sample(sample)
+        elif sample.sha256 not in self._samples:
+            self.register(sample)
+        sample.record_submission(timestamp)
+        return self._analyze(sample, timestamp)
+
+    def rescan(self, sha256: str, timestamp: int) -> ScanReport:
+        """Re-analyse an existing file: only last_analysis_date moves."""
+        return self._analyze(self.get_sample(sha256), timestamp)
+
+    def report(self, sha256: str) -> ScanReport:
+        """Return the most recent report without generating a new one."""
+        sample = self.get_sample(sha256)
+        try:
+            return self._last_report[sample.sha256]
+        except KeyError:
+            raise NotFoundError(sample.sha256) from None

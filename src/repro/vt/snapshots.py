@@ -1,0 +1,88 @@
+"""Daily-snapshot collection — the Zhu et al. comparator methodology.
+
+The paper's main prior work (Zhu et al., USENIX Security 2020) built its
+dataset by **rescanning a fixed sample set every day for a year** rather
+than observing organic submissions.  The paper attributes several of its
+disagreements (notably the prevalence of hazard flips) to that protocol
+difference.  :class:`SnapshotCampaign` reproduces the protocol against
+the simulator so the two methodologies can be compared on identical
+ground truth — which is exactly what the rescan-cadence ablation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.store.reportstore import ReportStore
+from repro.vt.clock import MINUTES_PER_DAY, WINDOW_MINUTES
+from repro.vt.samples import Sample
+from repro.vt.service import VirusTotalService
+
+
+@dataclass
+class SnapshotCampaign:
+    """A fixed-set, fixed-cadence rescan campaign.
+
+    Parameters
+    ----------
+    service:
+        The VirusTotal service to scan against.
+    cadence_days:
+        Days between snapshots (Zhu et al.: 1.0).
+    duration_days:
+        Campaign length (Zhu et al.: ~365).
+    scan_minute:
+        Minute-of-day at which the daily batch runs.
+    """
+
+    service: VirusTotalService
+    cadence_days: float = 1.0
+    duration_days: float = 365.0
+    scan_minute: int = 120
+    store: ReportStore = field(default_factory=ReportStore)
+    snapshots_taken: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cadence_days <= 0:
+            raise ConfigError("cadence_days must be positive")
+        if self.duration_days <= 0:
+            raise ConfigError("duration_days must be positive")
+        if not 0 <= self.scan_minute < MINUTES_PER_DAY:
+            raise ConfigError("scan_minute must be within a day")
+
+    def run(
+        self, samples: Iterable[Sample], start_day: float = 0.0
+    ) -> ReportStore:
+        """Upload every sample at the campaign start, then rescan the
+        whole set on the configured cadence.
+
+        Returns the (open) snapshot store; callers close it when done.
+        """
+        roster: Sequence[Sample] = list(samples)
+        if not roster:
+            raise ConfigError("campaign needs at least one sample")
+        start = int(start_day * MINUTES_PER_DAY) + self.scan_minute
+        for sample in roster:
+            if not self.service.known(sample.sha256):
+                self.service.register(sample)
+
+        when = start
+        end = start + int(self.duration_days * MINUTES_PER_DAY)
+        first_round = True
+        while when <= min(end, WINDOW_MINUTES - 1):
+            for sample in roster:
+                if first_round:
+                    report = self.service.upload(sample, when)
+                else:
+                    report = self.service.rescan(sample.sha256, when)
+                self.store.ingest(report)
+            self.snapshots_taken += 1
+            first_round = False
+            when += int(self.cadence_days * MINUTES_PER_DAY)
+        return self.store
+
+    @property
+    def reports_collected(self) -> int:
+        return self.store.report_count

@@ -1,0 +1,80 @@
+"""Shared fixtures.
+
+Expensive artefacts (a scenario run, the default fleet) are session-scoped
+so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiment import ExperimentData, run_experiment
+from repro.synth.scenario import ScenarioConfig, tiny_scenario
+from repro.vt.engines import EngineFleet, default_fleet
+from repro.vt.reports import ScanReport
+from repro.vt.samples import sha256_of
+
+
+@pytest.fixture(scope="session")
+def fleet() -> EngineFleet:
+    return default_fleet(seed=0)
+
+
+@pytest.fixture(scope="session")
+def experiment() -> ExperimentData:
+    """A small but analysable dynamics-scenario run."""
+    return run_experiment(tiny_scenario(n_samples=900, seed=7))
+
+
+@pytest.fixture(scope="session")
+def paper_mix_experiment() -> ExperimentData:
+    """A run with the full population mix (single-report majority)."""
+    config = ScenarioConfig(seed=11, n_samples=1200)
+    return run_experiment(config)
+
+
+def make_report(
+    sha: str = "a" * 64,
+    file_type: str = "Win32 EXE",
+    scan_time: int = 1000,
+    labels: list[int] | None = None,
+    versions: list[int] | None = None,
+    first_submission: int = 0,
+    n_engines: int = 5,
+) -> ScanReport:
+    """A hand-built report with a small synthetic fleet."""
+    from repro.vt.reports import encode_labels
+
+    if labels is None:
+        labels = [0] * n_engines
+    if versions is None:
+        versions = [1] * n_engines
+    positives = sum(1 for v in labels if v == 1)
+    total = sum(1 for v in labels if v != -1)
+    return ScanReport(
+        sha256=sha,
+        file_type=file_type,
+        scan_time=scan_time,
+        positives=positives,
+        total=total,
+        labels=encode_labels(labels),
+        versions=tuple(versions),
+        first_submission_date=first_submission,
+        last_submission_date=max(first_submission, 0),
+        last_analysis_date=scan_time,
+        times_submitted=1,
+    )
+
+
+@pytest.fixture()
+def report_factory():
+    return make_report
+
+
+def make_sha(token: str) -> str:
+    return sha256_of(token)
+
+
+@pytest.fixture()
+def sha_factory():
+    return make_sha

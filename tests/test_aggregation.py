@@ -1,0 +1,109 @@
+"""Unit tests for label aggregation strategies (repro.core.aggregation)."""
+
+import pytest
+
+from repro.core.aggregation import (
+    PercentageAggregator,
+    ThresholdAggregator,
+    TrustedEnginesAggregator,
+    WeightedVoteAggregator,
+)
+from repro.errors import ConfigError
+
+from conftest import make_report
+
+NAMES = ("a", "b", "c", "d", "e")
+
+
+class TestThreshold:
+    def test_boundary_inclusive(self):
+        report = make_report(labels=[1, 1, 0, 0, 0])
+        assert ThresholdAggregator(2).is_malicious(report)
+        assert not ThresholdAggregator(3).is_malicious(report)
+
+    def test_label_coding(self):
+        report = make_report(labels=[1, 0, 0, 0, 0])
+        assert ThresholdAggregator(1).label(report) == "M"
+        assert ThresholdAggregator(2).label(report) == "B"
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            ThresholdAggregator(0)
+
+
+class TestPercentage:
+    def test_fraction_of_responding_engines(self):
+        # 2 of 4 responding engines flag it: 50 %.
+        report = make_report(labels=[1, 1, 0, 0, -1])
+        assert PercentageAggregator(0.5).is_malicious(report)
+        assert not PercentageAggregator(0.51).is_malicious(report)
+
+    def test_no_responders_is_benign(self):
+        report = make_report(labels=[-1, -1, -1, -1, -1])
+        assert not PercentageAggregator(0.5).is_malicious(report)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            PercentageAggregator(0.0)
+        with pytest.raises(ConfigError):
+            PercentageAggregator(1.1)
+
+
+class TestTrustedEngines:
+    def test_counts_only_trusted(self):
+        report = make_report(labels=[1, 1, 1, 0, 0])
+        agg = TrustedEnginesAggregator(["d", "e"], NAMES, threshold=1)
+        assert not agg.is_malicious(report)
+        agg2 = TrustedEnginesAggregator(["a", "d"], NAMES, threshold=1)
+        assert agg2.is_malicious(report)
+
+    def test_threshold_within_trusted_set(self):
+        report = make_report(labels=[1, 1, 0, 0, 0])
+        agg = TrustedEnginesAggregator(["a", "b", "c"], NAMES, threshold=2)
+        assert agg.is_malicious(report)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            TrustedEnginesAggregator(["ghost"], NAMES)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigError):
+            TrustedEnginesAggregator([], NAMES)
+
+    def test_undetected_is_not_a_vote(self):
+        report = make_report(labels=[-1, 0, 0, 0, 0])
+        agg = TrustedEnginesAggregator(["a"], NAMES, threshold=1)
+        assert not agg.is_malicious(report)
+
+
+class TestWeightedVote:
+    def test_score_threshold(self):
+        report = make_report(labels=[1, 1, 0, 0, 0])
+        agg = WeightedVoteAggregator({"a": 0.6, "b": 0.5}, NAMES,
+                                     threshold=1.0)
+        assert agg.is_malicious(report)
+        agg2 = WeightedVoteAggregator({"a": 0.3, "b": 0.3}, NAMES,
+                                      threshold=1.0)
+        assert not agg2.is_malicious(report)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            WeightedVoteAggregator({"a": -1.0}, NAMES, threshold=1.0)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            WeightedVoteAggregator({"zzz": 1.0}, NAMES, threshold=1.0)
+
+    def test_from_correlation_groups_downweights_families(self):
+        # a, b, c form one correlated family: together they count as one.
+        agg = WeightedVoteAggregator.from_correlation_groups(
+            [["a", "b", "c"]], NAMES, threshold=2.0
+        )
+        family_only = make_report(labels=[1, 1, 1, 0, 0])
+        assert not agg.is_malicious(family_only)  # score 1.0 < 2.0
+        family_plus_two = make_report(labels=[1, 1, 1, 1, 1])
+        assert agg.is_malicious(family_plus_two)  # 1.0 + 2.0 >= 2.0
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            WeightedVoteAggregator({"a": 1.0}, NAMES, threshold=0.0)

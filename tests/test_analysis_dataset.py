@@ -1,0 +1,104 @@
+"""Tests for the dataset-overview pipelines (repro.analysis.dataset)."""
+
+import pytest
+
+from repro.analysis.dataset import (
+    FileTypeDistribution,
+    ReportsPerSample,
+    file_type_distribution,
+    store_overview,
+)
+from repro.store.reportstore import ReportStore
+
+from conftest import make_report, make_sha
+
+
+@pytest.fixture()
+def small_store():
+    store = ReportStore()
+    for i in range(6):
+        sha = make_sha(f"exe{i}")
+        store.ingest(make_report(sha=sha, file_type="Win32 EXE",
+                                 scan_time=100 + i))
+    for i in range(3):
+        sha = make_sha(f"txt{i}")
+        store.ingest(make_report(sha=sha, file_type="TXT",
+                                 scan_time=500 + i))
+        store.ingest(make_report(sha=sha, file_type="TXT",
+                                 scan_time=600 + i))
+    return store
+
+
+class TestTable3:
+    def test_rows_sorted_by_sample_count(self, small_store):
+        dist = file_type_distribution(small_store)
+        assert dist.rows[0].file_type == "Win32 EXE"
+        assert dist.rows[0].samples == 6
+        assert dist.rows[1].file_type == "TXT"
+
+    def test_shares_sum_to_one(self, small_store):
+        dist = file_type_distribution(small_store)
+        assert sum(r.sample_share for r in dist.rows) == pytest.approx(1.0)
+        assert sum(r.report_share for r in dist.rows) == pytest.approx(1.0)
+
+    def test_report_counts(self, small_store):
+        dist = file_type_distribution(small_store)
+        assert dist.row_for("TXT").reports == 6
+        assert dist.total_reports == 12
+        assert dist.total_samples == 9
+
+    def test_row_for_missing_type(self, small_store):
+        assert file_type_distribution(small_store).row_for("PDF") is None
+
+    def test_top_truncates(self, small_store):
+        assert len(file_type_distribution(small_store).top(1)) == 1
+
+
+class TestFigure1:
+    def test_landmarks(self, small_store):
+        result = ReportsPerSample.from_store(small_store)
+        assert result.single_report_fraction == pytest.approx(6 / 9)
+        assert result.max_reports == 2
+        assert result.multi_report_samples == 3
+
+    def test_under_landmarks_strict(self, small_store):
+        result = ReportsPerSample.from_store(small_store)
+        assert result.under_6_fraction == 1.0
+        assert result.under_20_fraction == 1.0
+
+
+class TestTable2:
+    def test_overview_totals(self, small_store):
+        stats = store_overview(small_store)
+        assert stats.total_reports == 12
+        assert stats.total_samples == 9
+
+
+class TestOnGeneratedData:
+    def test_paper_mix_fig1_shape(self, paper_mix_experiment):
+        result = ReportsPerSample.from_store(paper_mix_experiment.store)
+        # Figure 1 landmarks at scenario scale.
+        assert result.single_report_fraction == pytest.approx(0.888, abs=0.04)
+        assert result.under_20_fraction > 0.97
+
+    def test_paper_mix_table3_order(self, paper_mix_experiment):
+        dist = file_type_distribution(paper_mix_experiment.store)
+        assert dist.rows[0].file_type == "Win32 EXE"
+        assert isinstance(dist, FileTypeDistribution)
+
+    def test_paper_mix_fresh_share(self, paper_mix_experiment):
+        stats = store_overview(paper_mix_experiment.store)
+        assert stats.fresh_fraction == pytest.approx(0.9176, abs=0.04)
+
+    def test_compression_beats_paper(self, paper_mix_experiment):
+        """Our binary+zlib store compresses at least as well as the
+        paper's MongoDB pipeline (10.06x)."""
+        stats = store_overview(paper_mix_experiment.store)
+        assert stats.compression_rate > 10.06
+
+    def test_dll_rescanned_more_than_txt(self, paper_mix_experiment):
+        dist = file_type_distribution(paper_mix_experiment.store)
+        dll = dist.row_for("Win32 DLL")
+        txt = dist.row_for("TXT")
+        if dll and txt and dll.samples > 20 and txt.samples > 20:
+            assert (dll.reports / dll.samples) > (txt.reports / txt.samples)

@@ -1,0 +1,90 @@
+"""Unit tests for the API layer (repro.vt.api): quotas and endpoints."""
+
+import pytest
+
+from repro.errors import NotFoundError, PermissionError_, QuotaExceededError
+from repro.vt import clock
+from repro.vt.api import FREE_DAILY_QUOTA, APIKey, VTClient
+from repro.vt.samples import Sample, sha256_of
+from repro.vt.service import VirusTotalService
+
+
+@pytest.fixture()
+def service():
+    return VirusTotalService(seed=5)
+
+
+def _sample(token: str = "api") -> Sample:
+    return Sample(
+        sha256=sha256_of(token),
+        file_type="PDF",
+        malicious=False,
+        first_seen=clock.minutes(days=2),
+    )
+
+
+class TestAPIKey:
+    def test_free_key_charges_per_day(self):
+        key = APIKey("k", daily_quota=2)
+        key.charge(day=0)
+        key.charge(day=0)
+        with pytest.raises(QuotaExceededError):
+            key.charge(day=0)
+        key.charge(day=1)  # new day, fresh quota
+
+    def test_premium_key_uncapped(self):
+        key = APIKey("k", premium=True, daily_quota=1)
+        for _ in range(100):
+            key.charge(day=0)
+
+    def test_usage_tracking(self):
+        key = APIKey("k")
+        assert key.used_on(0) == 0
+        key.charge(0)
+        assert key.used_on(0) == 1
+
+    def test_default_quota_matches_public_tier(self):
+        assert APIKey("k").daily_quota == FREE_DAILY_QUOTA
+
+
+class TestEndpoints:
+    def test_upload_then_report_round_trip(self, service):
+        client = VTClient(service, premium=True)
+        s = _sample()
+        uploaded = client.upload(s, s.first_seen)
+        fetched = client.report(s.sha256, s.first_seen + 10)
+        assert fetched == uploaded
+
+    def test_rescan_generates_new_report(self, service):
+        client = VTClient(service, premium=True)
+        s = _sample()
+        client.upload(s, s.first_seen)
+        later = s.first_seen + clock.minutes(days=1)
+        rescanned = client.rescan(s.sha256, later)
+        assert rescanned.last_analysis_date == later
+
+    def test_report_for_unknown_hash_raises(self, service):
+        client = VTClient(service, premium=True)
+        with pytest.raises(NotFoundError):
+            client.report(sha256_of("missing"), 0)
+
+    def test_quota_enforced_across_endpoints(self, service):
+        client = VTClient(service, daily_quota=2)
+        s = _sample()
+        client.upload(s, 100)
+        client.report(s.sha256, 200)
+        with pytest.raises(QuotaExceededError):
+            client.rescan(s.sha256, 300)
+
+    def test_quota_resets_next_day(self, service):
+        client = VTClient(service, daily_quota=1)
+        s = _sample()
+        client.upload(s, 0)
+        next_day = clock.minutes(days=1) + 1
+        client.rescan(s.sha256, next_day)
+
+    def test_require_premium_gate(self, service):
+        free = VTClient(service)
+        with pytest.raises(PermissionError_):
+            free.require_premium("feed")
+        VTClient(service, premium=True).require_premium("feed")

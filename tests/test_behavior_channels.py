@@ -1,0 +1,120 @@
+"""Targeted tests for behaviour channels: flapping, hybrid delivery,
+context caches."""
+
+import random
+
+import pytest
+
+from repro.vt import clock
+from repro.vt.behavior import (
+    BehaviorContext,
+    BehaviorParams,
+    build_plan,
+)
+from repro.vt.samples import Sample, sha256_of
+
+
+def _sample(token, file_type="Win32 EXE",
+            first_seen=clock.minutes(days=40)):
+    return Sample(sha256=sha256_of(token), file_type=file_type,
+                  malicious=True, first_seen=first_seen)
+
+
+class TestFlapping:
+    def test_flapping_engine_oscillates(self, fleet):
+        params = BehaviorParams(flap_rate=1.0)
+        ctx = BehaviorContext(fleet, params, seed=2)
+        plan = build_plan(_sample("flappy"), ctx)
+        oscillating = [
+            timeline for timeline in plan.transitions.values()
+            if len(timeline) >= 5
+        ]
+        assert oscillating, "flap_rate=1.0 must create an oscillator"
+        timeline = max(oscillating, key=len)
+        labels = [lab for _, lab in timeline]
+        # Alternating 1,0,1,0,... after the onset.
+        assert labels[0] == 1
+        for a, b in zip(labels, labels[1:]):
+            assert a != b
+
+    def test_flap_dips_are_day_scale(self, fleet):
+        params = BehaviorParams(flap_rate=1.0)
+        ctx = BehaviorContext(fleet, params, seed=3)
+        plan = build_plan(_sample("flappy2"), ctx)
+        timeline = max(plan.transitions.values(), key=len)
+        times = [t for t, _ in timeline]
+        dips = [(times[i + 1] - times[i]) / clock.MINUTES_PER_DAY
+                for i in range(1, len(times) - 1, 2)]
+        assert dips
+        assert all(0.3 <= d <= 3.0 for d in dips)
+
+    def test_default_flap_rate_is_rare(self, fleet):
+        ctx = BehaviorContext(fleet, BehaviorParams(), seed=4)
+        flappers = 0
+        for i in range(300):
+            plan = build_plan(_sample(f"d{i}"), ctx)
+            if any(len(t) >= 5 for t in plan.transitions.values()):
+                flappers += 1
+        assert flappers < 15  # ~1.2% of malicious samples
+
+
+class TestHybridDelivery:
+    def _onset_on_update_fraction(self, fleet, hybrid_frac):
+        params = BehaviorParams(hybrid_cloud_frac=hybrid_frac)
+        ctx = BehaviorContext(fleet, params, seed=5)
+        on_update = 0
+        total = 0
+        for i in range(150):
+            sample = _sample(f"h{i}")
+            plan = build_plan(sample, ctx)
+            for idx, timeline in plan.transitions.items():
+                if fleet.engines[idx].cloud:
+                    continue
+                if idx in plan.copied:
+                    # Copied timelines follow the *leader's* delivery
+                    # channel, not this engine's schedule.
+                    continue
+                onset = timeline[0][0]
+                if onset <= sample.first_seen:
+                    continue
+                schedule = fleet.update_schedule(fleet.names[idx])
+                if onset > schedule[-1]:
+                    # Beyond the schedule horizon delivery is immediate
+                    # by design; not informative for alignment.
+                    continue
+                total += 1
+                if onset in schedule:
+                    on_update += 1
+        return (on_update / total) if total else 0.0
+
+    def test_zero_hybrid_aligns_every_onset(self, fleet):
+        assert self._onset_on_update_fraction(fleet, 0.0) == 1.0
+
+    def test_full_hybrid_rarely_aligns(self, fleet):
+        assert self._onset_on_update_fraction(fleet, 1.0) < 0.05
+
+    def test_default_is_in_between(self, fleet):
+        fraction = self._onset_on_update_fraction(
+            fleet, BehaviorParams().hybrid_cloud_frac
+        )
+        assert 0.4 < fraction < 0.9
+
+
+class TestContextCaches:
+    def test_weight_vectors_cover_fleet(self, fleet):
+        ctx = BehaviorContext(fleet, BehaviorParams(), seed=6)
+        for category in ("pe", "android", "web"):
+            assert len(ctx.detection_weights[category]) == len(fleet)
+            assert len(ctx.churn_weights[category]) == len(fleet)
+            assert len(ctx.fp_weights[category]) == len(fleet)
+            assert ctx.churn_total[category] == pytest.approx(
+                sum(ctx.churn_weights[category])
+            )
+
+    def test_rng_streams_keyed_by_sample(self, fleet):
+        ctx = BehaviorContext(fleet, BehaviorParams(), seed=7)
+        s1 = _sample("rng1")
+        s2 = _sample("rng2")
+        assert (ctx.plan_rng(s1).random()
+                == random.Random(f"7:plan:{s1.sha256}").random())
+        assert ctx.plan_rng(s1).random() != ctx.plan_rng(s2).random()

@@ -1,0 +1,60 @@
+"""Tests for the calibration self-check (repro.analysis.calibration)."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationReport,
+    CalibrationTarget,
+    assert_calibrated,
+    calibration_report,
+)
+
+
+class TestTarget:
+    def test_within(self):
+        assert CalibrationTarget("x", 0.5, 0.52, 0.05, "s").within
+        assert not CalibrationTarget("x", 0.5, 0.60, 0.05, "s").within
+
+    def test_deviation(self):
+        assert CalibrationTarget("x", 0.5, 0.4, 0.2, "s").deviation == (
+            pytest.approx(0.1)
+        )
+
+
+class TestReport:
+    def test_passed_iff_all_within(self):
+        good = CalibrationTarget("a", 1.0, 1.0, 0.1, "s")
+        bad = CalibrationTarget("b", 1.0, 2.0, 0.1, "s")
+        assert CalibrationReport((good,)).passed
+        assert not CalibrationReport((good, bad)).passed
+        assert CalibrationReport((good, bad)).failures() == [bad]
+
+    def test_render_marks_failures(self):
+        bad = CalibrationTarget("broken-stat", 1.0, 2.0, 0.1, "s")
+        text = CalibrationReport((bad,)).render()
+        assert "OFF" in text
+        assert "broken-stat" in text
+
+
+class TestOnExperiment:
+    def test_headline_stats_within_bands(self, experiment):
+        """The shipped calibration must hold on the shared fixture."""
+        report = calibration_report(experiment)
+        failures = report.failures()
+        assert not failures, report.render()
+
+    def test_assert_calibrated_passes(self, experiment):
+        report = assert_calibrated(experiment)
+        assert report.passed
+
+    def test_assert_calibrated_fail_callback(self, experiment):
+        messages = []
+        assert_calibrated(experiment, fail=messages.append)
+        assert messages == []
+
+    def test_report_covers_all_sections(self, experiment):
+        report = calibration_report(experiment)
+        sections = {t.section for t in report.targets}
+        assert {"Obs 1", "Obs 2", "Obs 3", "Obs 6", "Obs 7",
+                "Obs 8", "Obs 9", "7.1.1"} <= sections
+        assert len(report.targets) >= 14

@@ -1,0 +1,73 @@
+"""Unit tests for flip-cause attribution (repro.core.causes)."""
+
+import math
+
+import pytest
+
+from repro.core.causes import attribute_causes
+
+from conftest import make_report, make_sha
+
+
+def _pair(labels_a, labels_b, versions_a=None, versions_b=None, sha="c"):
+    sha256 = make_sha(sha)
+    n = len(labels_a)
+    return (sha256, [
+        make_report(sha=sha256, scan_time=100, labels=labels_a,
+                    versions=versions_a or [1] * n),
+        make_report(sha=sha256, scan_time=200, labels=labels_b,
+                    versions=versions_b or [1] * n),
+    ])
+
+
+class TestAttribution:
+    def test_update_flip(self):
+        breakdown = attribute_causes([_pair(
+            [0, 0, 0, 0, 0], [1, 0, 0, 0, 0],
+            versions_a=[1, 1, 1, 1, 1], versions_b=[2, 1, 1, 1, 1],
+        )])
+        assert breakdown.update_flips == 1
+        assert breakdown.latency_flips == 0
+        assert breakdown.update_share == 1.0
+
+    def test_latency_flip(self):
+        breakdown = attribute_causes([_pair(
+            [0, 0, 0, 0, 0], [1, 0, 0, 0, 0],
+        )])
+        assert breakdown.update_flips == 0
+        assert breakdown.latency_flips == 1
+        assert breakdown.update_share == 0.0
+
+    def test_activity_event(self):
+        breakdown = attribute_causes([_pair(
+            [1, 0, 0, 0, 0], [-1, 0, 0, 0, 0],
+        )])
+        assert breakdown.activity_events == 1
+        assert breakdown.total_flips == 0
+        assert breakdown.changed_pairs == 1  # positives moved 1 -> 0
+
+    def test_changed_pairs_counts_rank_moves_only(self):
+        breakdown = attribute_causes([_pair(
+            [1, 0, 0, 0, 0], [1, 0, 0, 0, 0],
+        )])
+        assert breakdown.changed_pairs == 0
+        assert breakdown.total_pairs == 1
+
+    def test_mixed_events_in_one_pair(self):
+        breakdown = attribute_causes([_pair(
+            [0, 1, 0, 0, 0], [1, -1, 0, 0, 0],
+            versions_a=[1, 1, 1, 1, 1], versions_b=[2, 2, 1, 1, 1],
+        )])
+        assert breakdown.update_flips == 1       # engine 0
+        assert breakdown.activity_events == 1    # engine 1 dropped out
+        assert breakdown.activity_share == pytest.approx(0.5)
+
+    def test_nan_shares_with_no_events(self):
+        breakdown = attribute_causes([])
+        assert math.isnan(breakdown.update_share)
+        assert math.isnan(breakdown.activity_share)
+
+    def test_single_report_sample_no_pairs(self):
+        sha = make_sha("one")
+        breakdown = attribute_causes([(sha, [make_report(sha=sha)])])
+        assert breakdown.total_pairs == 0

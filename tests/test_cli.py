@@ -1,0 +1,78 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def run_cli(capsys):
+    def run(*argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out
+
+    return run
+
+
+class TestCommands:
+    def test_overview(self, run_cli):
+        code, out = run_cli("--samples", "300", "--seed", "2", "overview")
+        assert code == 0
+        assert "05/2021 Reports" in out
+        assert "Figure 1" in out
+
+    def test_dynamics(self, run_cli):
+        code, out = run_cli("--samples", "300", "--seed", "2", "dynamics")
+        assert code == 0
+        assert "Observation 1" in out
+        assert "Figure 8" in out
+
+    def test_stabilization(self, run_cli):
+        code, out = run_cli("--samples", "300", "--seed", "2",
+                            "stabilization")
+        assert code == 0
+        assert "Observation 8" in out
+        assert "Figure 9" in out
+
+    def test_engines(self, run_cli):
+        code, out = run_cli("--samples", "300", "--seed", "2", "engines")
+        assert code == 0
+        assert "Figure 10" in out
+        assert "Figure 11" in out
+
+    def test_generate_and_reload(self, run_cli, tmp_path):
+        path = tmp_path / "saved.store"
+        code, out = run_cli("--samples", "200", "--seed", "3",
+                            "generate", str(path))
+        assert code == 0
+        assert path.exists()
+        code, out = run_cli("--store", str(path), "overview")
+        assert code == 0
+        assert "Total # Reports" in out
+
+    def test_paper_scenario_flag(self, run_cli):
+        code, out = run_cli("--samples", "300", "--seed", "2",
+                            "--scenario", "paper", "overview")
+        assert code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestNewCommands:
+    def test_calibrate_command(self, run_cli):
+        code, out = run_cli("--samples", "800", "--seed", "5", "calibrate")
+        assert "calibration report" in out
+        assert code in (0, 1)  # small-scale noise may trip a band
+
+    def test_report_command(self, run_cli, tmp_path):
+        path = tmp_path / "repro-report.md"
+        code, out = run_cli("--samples", "400", "--seed", "5",
+                            "report", str(path))
+        assert code == 0
+        assert path.exists()
+        text = path.read_text()
+        assert "## Calibration vs paper" in text
+        assert "## Individual engines" in text

@@ -1,0 +1,114 @@
+"""Unit tests for the simulation clock (repro.vt.clock)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.vt import clock
+
+
+class TestWindowGeometry:
+    def test_fourteen_months(self):
+        assert clock.COLLECTION_MONTHS == 14
+        assert len(clock.MONTH_STARTS) == 15
+
+    def test_window_spans_may21_to_jul22(self):
+        assert clock.COLLECTION_START == dt.datetime(
+            2021, 5, 1, tzinfo=dt.timezone.utc
+        )
+        assert clock.COLLECTION_END == dt.datetime(
+            2022, 7, 1, tzinfo=dt.timezone.utc
+        )
+
+    def test_window_minutes_matches_day_count(self):
+        # May 2021 .. June 2022 inclusive is 426 days.
+        assert clock.WINDOW_DAYS == 426
+        assert clock.WINDOW_MINUTES == 426 * clock.MINUTES_PER_DAY
+
+    def test_month_starts_strictly_increasing(self):
+        starts = clock.MONTH_STARTS
+        assert all(b > a for a, b in zip(starts, starts[1:]))
+
+    def test_first_month_is_may_31_days(self):
+        assert clock.MONTH_STARTS[1] == 31 * clock.MINUTES_PER_DAY
+
+    def test_february_2022_has_28_days(self):
+        # Month index 9 is 02/2022.
+        length = clock.MONTH_STARTS[10] - clock.MONTH_STARTS[9]
+        assert length == 28 * clock.MINUTES_PER_DAY
+
+
+class TestConversions:
+    def test_minutes_builder(self):
+        assert clock.minutes(days=1) == 1440
+        assert clock.minutes(hours=2) == 120
+        assert clock.minutes(mins=5) == 5
+        assert clock.minutes(days=1, hours=1, mins=1) == 1501
+
+    def test_day_of(self):
+        assert clock.day_of(0) == 0.0
+        assert clock.day_of(1440) == 1.0
+        assert clock.day_of(2160) == 1.5
+
+    def test_minute_of_day_wraps(self):
+        assert clock.minute_of_day(0) == 0
+        assert clock.minute_of_day(1439) == 1439
+        assert clock.minute_of_day(1440) == 0
+
+    def test_month_index_boundaries(self):
+        assert clock.month_index(0) == 0
+        assert clock.month_index(clock.MONTH_STARTS[1] - 1) == 0
+        assert clock.month_index(clock.MONTH_STARTS[1]) == 1
+        assert clock.month_index(clock.WINDOW_MINUTES - 1) == 13
+
+    def test_month_index_clamps_out_of_window(self):
+        assert clock.month_index(-10) == 0
+        assert clock.month_index(clock.WINDOW_MINUTES + 99999) == 13
+
+    def test_month_labels_match_paper_table2(self):
+        assert clock.month_label(0) == "05/2021"
+        assert clock.month_label(7) == "12/2021"
+        assert clock.month_label(8) == "01/2022"
+        assert clock.month_label(13) == "06/2022"
+
+    def test_month_label_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            clock.month_label(14)
+        with pytest.raises(ConfigError):
+            clock.month_label(-1)
+
+    def test_datetime_round_trip(self):
+        for ts in (0, 1, 99999, clock.WINDOW_MINUTES - 1):
+            assert clock.from_datetime(clock.to_datetime(ts)) == ts
+
+    def test_from_datetime_requires_tzaware(self):
+        with pytest.raises(ConfigError):
+            clock.from_datetime(dt.datetime(2021, 6, 1))
+
+
+class TestSimulationClock:
+    def test_advance(self):
+        c = clock.SimulationClock()
+        assert c.advance(10) == 10
+        assert c.now == 10
+        assert c.elapsed == 10
+
+    def test_advance_rejects_negative(self):
+        c = clock.SimulationClock()
+        with pytest.raises(ConfigError):
+            c.advance(-1)
+
+    def test_advance_to_never_goes_back(self):
+        c = clock.SimulationClock(now=100)
+        assert c.advance_to(50) == 100
+        assert c.advance_to(200) == 200
+
+    def test_in_window(self):
+        assert clock.SimulationClock(now=5).in_window()
+        assert not clock.SimulationClock(now=clock.WINDOW_MINUTES).in_window()
+
+    def test_elapsed_respects_initial_offset(self):
+        c = clock.SimulationClock(now=500)
+        c.advance(40)
+        assert c.elapsed == 40

@@ -1,0 +1,192 @@
+"""Unit tests for the engine fleet (repro.vt.engines)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.vt import clock
+from repro.vt.engines import (
+    CopyRule,
+    Engine,
+    EngineFleet,
+    default_fleet,
+)
+
+
+class TestEngineValidation:
+    def test_activity_bounds(self):
+        with pytest.raises(ConfigError):
+            Engine("X", activity=0.0)
+        with pytest.raises(ConfigError):
+            Engine("X", activity=1.5)
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ConfigError):
+            Engine("X", sensitivity=-1)
+
+    def test_update_interval_positive(self):
+        with pytest.raises(ConfigError):
+            Engine("X", update_interval_days=0)
+
+    def test_unknown_affinity_category_rejected(self):
+        with pytest.raises(ConfigError):
+            Engine("X", affinity={"bogus": 1.0})
+
+    def test_affinity_defaults_to_one(self):
+        e = Engine("X", affinity={"pe": 2.0})
+        assert e.affinity_for("pe") == 2.0
+        assert e.affinity_for("elf") == 1.0
+
+    def test_churn_for_combines_base_and_affinity(self):
+        e = Engine("X", churn=2.0, churn_affinity={"elf": 3.0})
+        assert e.churn_for("elf") == 6.0
+        assert e.churn_for("pe") == 2.0
+
+
+class TestCopyRule:
+    def test_applies_everywhere_by_default(self):
+        rule = CopyRule("Leader")
+        assert rule.applies_to("Win32 EXE", "pe")
+        assert rule.applies_to("GZIP", "archive")
+
+    def test_category_restriction(self):
+        rule = CopyRule("Leader", categories=frozenset({"pe"}))
+        assert rule.applies_to("Win32 EXE", "pe")
+        assert not rule.applies_to("GZIP", "archive")
+
+    def test_file_type_restriction_overrides_categories(self):
+        rule = CopyRule("Leader", file_types=frozenset({"GZIP"}),
+                        categories=frozenset({"pe"}))
+        assert rule.applies_to("GZIP", "archive")
+        assert not rule.applies_to("ZIP", "archive")
+
+
+class TestFleetConstruction:
+    def test_default_fleet_has_70_engines(self, fleet):
+        assert len(fleet) == 70
+
+    def test_paper_engine_names_present(self, fleet):
+        for name in ("Avast", "AVG", "Paloalto", "APEX", "BitDefender",
+                     "MicroWorld-eScan", "GData", "FireEye", "MAX",
+                     "ALYac", "Ad-Aware", "Emsisoft", "Arcabit",
+                     "F-Secure", "Lionic", "Jiangmin", "AhnLab",
+                     "Microsoft", "Webroot", "CrowdStrike", "Cyren",
+                     "Fortinet", "Cynet", "Avira", "VirIT",
+                     "K7GW", "K7AntiVirus", "TrendMicro",
+                     "TrendMicro-HouseCall", "F-Prot", "Babable"):
+            assert name in fleet.index, name
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineFleet([Engine("A"), Engine("A")])
+
+    def test_unknown_copy_leader_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineFleet([Engine("A", copies=CopyRule("Ghost"))])
+
+    def test_copy_chain_depth_capped(self):
+        engines = [
+            Engine("A"),
+            Engine("B", copies=CopyRule("A")),
+            Engine("C", copies=CopyRule("B")),
+        ]
+        with pytest.raises(ConfigError):
+            EngineFleet(engines)
+
+    def test_getitem_by_name_and_index(self, fleet):
+        assert fleet["Avast"].name == "Avast"
+        assert fleet[fleet.index["Avast"]].name == "Avast"
+
+    def test_decision_order_leaders_first(self, fleet):
+        seen = set()
+        for idx in fleet.decision_order:
+            engine = fleet.engines[idx]
+            if engine.copies is not None:
+                assert fleet.index[engine.copies.leader] in seen
+            seen.add(idx)
+
+    def test_bitdefender_oem_family_copies(self, fleet):
+        for follower in ("MicroWorld-eScan", "GData", "FireEye", "MAX",
+                         "ALYac", "Ad-Aware", "Emsisoft"):
+            assert fleet[follower].copies.leader == "BitDefender"
+
+    def test_lionic_virit_rule_is_gzip_only(self, fleet):
+        rule = fleet["Lionic"].copies
+        assert rule.leader == "VirIT"
+        assert rule.file_types == frozenset({"GZIP"})
+
+
+class TestSchedules:
+    def test_update_schedule_covers_backfill_and_window(self, fleet):
+        schedule = fleet.update_schedule("Kaspersky")
+        assert schedule[0] < 0
+        assert schedule[-1] >= clock.WINDOW_MINUTES
+
+    def test_schedule_sorted(self, fleet):
+        schedule = fleet.update_schedule("Sophos")
+        assert schedule == sorted(schedule)
+
+    def test_version_monotone_in_time(self, fleet):
+        idx = fleet.index["Sophos"]
+        versions = [fleet.version_at(idx, t)
+                    for t in range(0, clock.WINDOW_MINUTES, 50_000)]
+        assert versions == sorted(versions)
+
+    def test_visible_versions_sparser_than_db_pushes(self, fleet):
+        # Sophos pushes DB deltas every ~1.5 days but only bumps its
+        # visible version roughly monthly (the §5.5 distinction).
+        db = fleet.update_schedule("Sophos")
+        visible = fleet.version_schedule("Sophos")
+        assert len(visible) < len(db) / 5
+
+    def test_visible_schedule_subset_of_db_schedule(self, fleet):
+        db = set(fleet.update_schedule("DrWeb"))
+        assert set(fleet.version_schedule("DrWeb")) <= db
+
+    def test_next_update_after_is_strictly_later(self, fleet):
+        idx = fleet.index["Avast"]
+        t = 10_000
+        nxt = fleet.next_update_after(idx, t)
+        assert nxt > t
+
+    def test_next_update_after_schedule_horizon(self, fleet):
+        idx = fleet.index["Avast"]
+        far = clock.WINDOW_MINUTES + fleet.SCHEDULE_OVERRUN + 10**9
+        assert fleet.next_update_after(idx, far) == far
+
+    def test_schedules_deterministic_per_seed(self):
+        a = default_fleet(seed=5).update_schedule("Avast")
+        b = default_fleet(seed=5).update_schedule("Avast")
+        c = default_fleet(seed=6).update_schedule("Avast")
+        assert a == b
+        assert a != c
+
+
+class TestDetectionWeights:
+    def test_mobile_engine_is_android_specialist(self, fleet):
+        weights_android = fleet.detection_weights("android")
+        weights_pe = fleet.detection_weights("pe")
+        idx = fleet.index["Avast-Mobile"]
+        assert weights_android[idx] > 10 * weights_pe[idx]
+
+    def test_edr_engines_are_pe_only(self, fleet):
+        for name in ("Paloalto", "APEX", "Webroot", "CrowdStrike"):
+            idx = fleet.index[name]
+            assert fleet.detection_weights("pe")[idx] > 0.3
+            assert fleet.detection_weights("web")[idx] < 0.05
+
+    def test_weights_length_matches_fleet(self, fleet):
+        assert len(fleet.detection_weights("pe")) == 70
+
+
+class TestStabilityProfiles:
+    def test_flippy_engines_have_high_churn(self, fleet):
+        for name in ("Arcabit", "F-Secure", "Lionic"):
+            assert fleet[name].churn >= 2.0
+
+    def test_stable_engines_have_low_churn(self, fleet):
+        for name in ("Jiangmin", "AhnLab"):
+            assert fleet[name].churn <= 0.3
+
+    def test_arcabit_elf_churn_dominates_its_android_churn(self, fleet):
+        arcabit = fleet["Arcabit"]
+        assert arcabit.churn_for("elf") > 50 * arcabit.churn_for("android")

@@ -1,0 +1,62 @@
+"""Tests for the exception hierarchy (repro.errors) and doctests."""
+
+import doctest
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_vt_errors(self):
+        assert issubclass(errors.NotFoundError, errors.VTError)
+        assert issubclass(errors.QuotaExceededError, errors.VTError)
+        assert issubclass(errors.InvalidHashError, errors.VTError)
+
+    def test_store_errors(self):
+        assert issubclass(errors.UnknownSampleError, errors.StoreError)
+        assert issubclass(errors.UnknownSampleError, KeyError)
+        assert issubclass(errors.CorruptRecordError, errors.StoreError)
+        assert issubclass(errors.ShardClosedError, errors.StoreError)
+
+    def test_analysis_errors(self):
+        assert issubclass(errors.InsufficientDataError,
+                          errors.AnalysisError)
+
+    def test_messages_carry_context(self):
+        assert "deadbeef" in str(errors.NotFoundError("deadbeef"))
+        quota = errors.QuotaExceededError(used=500, limit=500)
+        assert "500/500" in str(quota)
+        assert quota.used == 500
+        insufficient = errors.InsufficientDataError(3, 1, "points")
+        assert insufficient.needed == 3
+        assert "points" in str(insufficient)
+
+    def test_single_catch_at_api_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ShardClosedError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.InvalidHashError("y")
+
+
+class TestDoctests:
+    """Run the doctests embedded in public docstrings."""
+
+    @pytest.mark.parametrize("module_name", [
+        "repro.labeling.tokens",
+        "repro.stats.ranking",
+    ])
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0

@@ -1,0 +1,106 @@
+"""Unit tests for the premium feed (repro.vt.feed)."""
+
+import pytest
+
+from repro.errors import PermissionError_
+from repro.vt import clock
+from repro.vt.feed import PremiumFeed
+from repro.vt.samples import Sample, sha256_of
+from repro.vt.service import VirusTotalService
+
+
+@pytest.fixture()
+def service():
+    return VirusTotalService(seed=8)
+
+
+def _upload(service, token, when):
+    s = Sample(
+        sha256=sha256_of(token),
+        file_type="TXT",
+        malicious=False,
+        first_seen=when,
+    )
+    return service.upload(s, when)
+
+
+class TestLifecycle:
+    def test_feed_requires_premium(self, service):
+        with pytest.raises(PermissionError_):
+            PremiumFeed(service, premium=False)
+
+    def test_detached_feed_sees_nothing(self, service):
+        feed = PremiumFeed(service)
+        _upload(service, "a", 100)
+        assert feed.pending() == 0
+
+    def test_attach_detach(self, service):
+        feed = PremiumFeed(service)
+        feed.attach()
+        _upload(service, "a", 100)
+        feed.detach()
+        _upload(service, "b", 200)
+        assert feed.pending() == 1
+
+    def test_context_manager(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 100)
+            assert feed.pending() == 1
+        _upload(service, "b", 200)
+        assert feed.pending() == 1
+
+    def test_double_attach_is_idempotent(self, service):
+        feed = PremiumFeed(service)
+        feed.attach()
+        feed.attach()
+        _upload(service, "a", 100)
+        assert feed.pending() == 1
+
+
+class TestPolling:
+    def test_poll_drains_buffer(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 100)
+            _upload(service, "b", 150)
+            batch = feed.poll()
+            assert len(batch) == 2
+            assert feed.pending() == 0
+
+    def test_poll_with_minute_bound(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 100)
+            _upload(service, "b", 200)
+            early = feed.poll(until_minute=150)
+            assert [r.scan_time for r in early] == [100]
+            assert feed.pending() == 1
+
+    def test_counters(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 100)
+            feed.poll()
+            assert feed.batches_served == 1
+            assert feed.reports_served == 1
+
+
+class TestMinuteBatches:
+    def test_batches_grouped_by_minute(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 100)
+            _upload(service, "b", 100)
+            _upload(service, "c", 105)
+            batches = list(feed.minute_batches())
+        assert [(m, len(b)) for m, b in batches] == [(100, 2), (105, 1)]
+
+    def test_batches_drain_the_buffer(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 100)
+            list(feed.minute_batches())
+            assert feed.pending() == 0
+
+    def test_out_of_order_reports_detected(self, service):
+        feed = PremiumFeed(service)
+        feed.attach()
+        _upload(service, "a", clock.minutes(days=2))
+        _upload(service, "b", clock.minutes(days=1))
+        with pytest.raises(AssertionError):
+            list(feed.minute_batches())

@@ -1,0 +1,122 @@
+"""Unit tests for the file-type catalogue (repro.vt.filetypes)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.vt import filetypes as ft
+
+
+class TestCatalogue:
+    def test_total_351_types(self):
+        assert len(ft.FILE_TYPES) == 351
+
+    def test_top20_matches_paper_order(self):
+        assert ft.TOP20_FILE_TYPES[0] == "Win32 EXE"
+        assert ft.TOP20_FILE_TYPES[1] == "TXT"
+        assert ft.TOP20_FILE_TYPES[-1] == "JPEG"
+        assert len(ft.TOP20_FILE_TYPES) == 20
+
+    def test_win32_exe_share_from_table3(self):
+        assert ft.FILE_TYPES["Win32 EXE"].sample_share == pytest.approx(25.2139)
+
+    def test_null_share_from_table3(self):
+        assert ft.FILE_TYPES["NULL"].sample_share == pytest.approx(9.6048)
+
+    def test_shares_sum_to_100(self):
+        total = sum(p.sample_share for p in ft.FILE_TYPES.values())
+        assert total == pytest.approx(100.0, abs=0.01)
+
+    def test_minor_types_carry_others_mass(self):
+        minor = [p for name, p in ft.FILE_TYPES.items()
+                 if name.startswith("TYPE_")]
+        assert len(minor) == 330
+        assert sum(p.sample_share for p in minor) == pytest.approx(
+            ft.OTHERS_SHARE, abs=1e-6
+        )
+
+    def test_minor_type_shares_decay(self):
+        minor = [p.sample_share for name, p in ft.FILE_TYPES.items()
+                 if name.startswith("TYPE_")]
+        assert all(b <= a for a, b in zip(minor, minor[1:]))
+
+    def test_every_type_has_valid_category(self):
+        for profile in ft.FILE_TYPES.values():
+            assert profile.category in ft.CATEGORIES
+
+
+class TestPEGrouping:
+    def test_pe_types_match_section_5_4_3(self):
+        assert ft.PE_FILE_TYPES == {
+            "Win32 EXE", "Win32 DLL", "Win64 EXE", "Win64 DLL"
+        }
+
+    def test_is_pe_type(self):
+        assert ft.is_pe_type("Win32 EXE")
+        assert not ft.is_pe_type("PDF")
+        assert not ft.is_pe_type("ELF executable")
+
+
+class TestProfileValidation:
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ConfigError):
+            ft.FileTypeProfile("X", "nonsense", 1.0)
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ConfigError):
+            ft.FileTypeProfile("X", "pe", 1.0, malicious_prob=1.5)
+        with pytest.raises(ConfigError):
+            ft.FileTypeProfile("X", "pe", 1.0, fp_episode_prob=-0.1)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ConfigError):
+            ft.FileTypeProfile("X", "pe", -1.0)
+
+    def test_lookup_unknown_type_raises(self):
+        with pytest.raises(ConfigError):
+            ft.file_type_profile("definitely-not-a-type")
+
+    def test_lookup_known_type(self):
+        assert ft.file_type_profile("PDF").category == "document"
+
+
+class TestDynamicsCalibration:
+    """The per-type knobs must encode the paper's Figure 6 orderings."""
+
+    def test_dll_has_fastest_growth(self):
+        dll = ft.FILE_TYPES["Win32 DLL"].growth_days
+        assert dll <= min(
+            ft.FILE_TYPES[t].growth_days
+            for t in ft.TOP20_FILE_TYPES if t != "Win32 DLL"
+        )
+
+    def test_pe_plateaus_above_low_dynamics_types(self):
+        for quiet in ("JPEG", "FPX", "EPUB", "JSON"):
+            assert (ft.FILE_TYPES["Win32 EXE"].plateau_high_frac
+                    > ft.FILE_TYPES[quiet].plateau_high_frac)
+
+    def test_quiet_types_mostly_low_mode(self):
+        for quiet in ("JPEG", "FPX", "EPUB", "JSON"):
+            assert ft.FILE_TYPES[quiet].plateau_low_weight >= 0.7
+
+    def test_elf_executable_has_churn_boost(self):
+        # Arcabit's Figure 10 contrast needs extra churn on ELF.
+        assert ft.FILE_TYPES["ELF executable"].churn_scale > 1.0
+
+    def test_dll_rescan_boost_highest(self):
+        # Table 3: Win32 DLL averages ~4 reports per sample.
+        assert ft.FILE_TYPES["Win32 DLL"].rescan_boost == max(
+            p.rescan_boost for p in ft.FILE_TYPES.values()
+        )
+
+    def test_pe_has_initial_floor_override(self):
+        for pe in ft.PE_FILE_TYPES:
+            assert ft.FILE_TYPES[pe].initial_floor is not None
+        assert ft.FILE_TYPES["TXT"].initial_floor is None
+
+
+class TestWeights:
+    def test_sample_share_weights_aligned(self):
+        names, weights = ft.sample_share_weights()
+        assert len(names) == len(weights) == 351
+        index = names.index("Win32 EXE")
+        assert weights[index] == pytest.approx(25.2139)

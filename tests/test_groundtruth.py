@@ -1,0 +1,54 @@
+"""Tests for latent ground truth (repro.synth.groundtruth)."""
+
+import random
+from collections import Counter
+
+from repro.synth.groundtruth import (
+    FAMILY_POOLS,
+    MEDIAN_SIZE_BYTES,
+    family_for,
+)
+from repro.vt.filetypes import CATEGORIES, FILE_TYPES
+
+
+class TestFamilyPools:
+    def test_every_category_has_a_pool(self):
+        assert set(FAMILY_POOLS) == set(CATEGORIES)
+
+    def test_pools_are_nonempty_and_lowercase(self):
+        for pool in FAMILY_POOLS.values():
+            assert pool
+            for family in pool:
+                assert family == family.lower()
+
+    def test_every_category_has_a_size(self):
+        assert set(MEDIAN_SIZE_BYTES) == set(CATEGORIES)
+        assert all(v > 0 for v in MEDIAN_SIZE_BYTES.values())
+
+
+class TestFamilyFor:
+    def test_family_matches_category_pool(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            family = family_for(rng, "Win32 EXE")
+            assert family in FAMILY_POOLS["pe"]
+
+    def test_zipf_skew(self):
+        """The first families of each pool dominate draws."""
+        rng = random.Random(2)
+        counts = Counter(family_for(rng, "ELF executable")
+                         for _ in range(3000))
+        pool = FAMILY_POOLS["elf"]
+        head = sum(counts[f] for f in pool[:3])
+        tail = sum(counts[f] for f in pool[-3:])
+        assert head > 2 * tail
+
+    def test_deterministic_per_stream(self):
+        a = [family_for(random.Random(7), "PDF") for _ in range(3)]
+        b = [family_for(random.Random(7), "PDF") for _ in range(3)]
+        assert a == b
+
+    def test_all_file_types_resolvable(self):
+        rng = random.Random(3)
+        for name in list(FILE_TYPES)[:30]:
+            assert family_for(rng, name)

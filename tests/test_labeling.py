@@ -1,0 +1,125 @@
+"""Unit tests for the AVClass-style baseline (repro.labeling)."""
+
+from repro.labeling.families import (
+    FamilyVote,
+    detection_string,
+    label_family,
+)
+from repro.labeling.tokens import normalize_label, tokenize_label
+
+
+class TestTokenizer:
+    def test_split_on_punctuation(self):
+        assert tokenize_label("Trojan.Win32.Emotet.abcd!MTB") == [
+            "trojan", "win32", "emotet", "abcd", "mtb"
+        ]
+
+    def test_lowercases(self):
+        assert tokenize_label("EMOTET") == ["emotet"]
+
+    def test_empty(self):
+        assert tokenize_label("") == []
+
+
+class TestNormalizer:
+    def test_extracts_family(self):
+        assert normalize_label("Trojan.Win32.Emotet.abcd!MTB") == ["emotet"]
+
+    def test_generic_only_label_yields_nothing(self):
+        assert normalize_label("Trojan.Generic.1234567") == []
+        assert normalize_label("HEUR:Trojan.Win32.Generic") == []
+
+    def test_hex_suffixes_dropped(self):
+        assert normalize_label("Emotet.deadbeef") == ["emotet"]
+
+    def test_short_fragments_dropped(self):
+        assert normalize_label("W32/Xy.ab") == []
+
+    def test_platform_tokens_dropped(self):
+        assert normalize_label("Linux.Mirai.A") == ["mirai"]
+
+    def test_multiple_candidates_preserved_in_order(self):
+        assert normalize_label("Mirai.Gafgyt") == ["mirai", "gafgyt"]
+
+
+class TestDetectionString:
+    def test_benign_is_none(self):
+        assert detection_string("Avast", None, "pe", "a" * 64) is None
+
+    def test_deterministic(self):
+        a = detection_string("Avast", "emotet", "pe", "a" * 64)
+        b = detection_string("Avast", "emotet", "pe", "a" * 64)
+        assert a == b
+
+    def test_varies_by_engine(self):
+        strings = {
+            detection_string(name, "emotet", "pe", "b" * 64)
+            for name in ("Avast", "Kaspersky", "Microsoft", "DrWeb",
+                         "Fortinet", "ESET-NOD32")
+        }
+        assert len(strings) > 2
+
+    def test_family_usually_recoverable(self):
+        hits = 0
+        for i in range(100):
+            label = detection_string(f"Engine{i}", "emotet", "pe",
+                                     f"{i:064x}")
+            if "emotet" in normalize_label(label or ""):
+                hits += 1
+        assert hits > 60  # ~18 % of strings are generic-only by design
+
+
+class TestPluralityVote:
+    def test_majority_family_wins(self):
+        vote = label_family({
+            "a": "Trojan.Win32.Emotet.xy",
+            "b": "W32/Emotet.AB!tr",
+            "c": "Gen:Variant.Qakbot.12",
+            "d": None,
+        })
+        assert vote.family == "emotet"
+        assert vote.support == 2
+        assert vote.total_votes == 3
+        assert vote.confident
+
+    def test_no_detections(self):
+        vote = label_family({"a": None, "b": None})
+        assert vote.family is None
+        assert not vote.confident
+        assert vote.total_votes == 0
+
+    def test_generic_only_detections(self):
+        vote = label_family({"a": "Trojan.Generic.999"})
+        assert vote.family is None
+
+    def test_single_vote_not_confident(self):
+        vote = label_family({"a": "Mirai.x1y2z3w4"})
+        assert vote.family == "mirai"
+        assert not vote.confident
+
+    def test_alternatives_ranked(self):
+        vote = label_family({
+            "a": "Emotet.aaaa", "b": "Emotet.bbbb",
+            "c": "Qakbot.cccc", "d": "Mirai.dddd",
+        })
+        assert vote.family == "emotet"
+        alt_families = [f for f, _ in vote.alternatives]
+        assert set(alt_families) == {"qakbot", "mirai"}
+
+    def test_one_vote_per_engine(self):
+        vote = label_family({"a": "Mirai.Gafgyt.Tsunami"})
+        assert vote.support == 1
+        assert vote.total_votes == 1
+
+
+class TestEndToEnd:
+    def test_simulated_fleet_recovers_ground_truth(self, fleet):
+        detections = {
+            engine.name: detection_string(engine.name, "redline", "pe",
+                                          "c" * 64)
+            for engine in fleet
+        }
+        vote = label_family(detections)
+        assert vote.family == "redline"
+        assert vote.confident
+        assert isinstance(vote, FamilyVote)

@@ -1,0 +1,135 @@
+"""Tests for the corpus-level AVClass workflow (repro.labeling.avclass)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.labeling.avclass import (
+    CorpusLabeler,
+    accuracy_against_truth,
+    build_corpus_from_store,
+)
+
+
+FAMILIES = ("emotet", "qakbot", "mirai", "redline", "lokibot",
+            "trickbot", "remcos", "njrat")
+
+
+def _corpus():
+    """A hand-built diverse corpus: eight families (three samples each)
+    plus a pervasive pseudo-generic token ('malcode') on every sample."""
+    def detections(family):
+        return {
+            "a": f"Trojan.Win32.{family.capitalize()}.x",
+            "b": f"{family.capitalize()}.yz",
+            "c": "Trojan.Malcode.Generic",  # 'malcode' appears everywhere
+        }
+
+    corpus = {}
+    index = 0
+    for family in FAMILIES:
+        for _ in range(3):
+            corpus[f"{index:064x}"] = detections(family)
+            index += 1
+    # 'emotetx' is an alias: it only ever appears on emotet samples.
+    emotet_shas = [f"{i:064x}" for i in range(3)]
+    for sha in emotet_shas:
+        corpus[sha]["d"] = "W32/Emotetx.A"
+    return corpus
+
+
+class TestFit:
+    def test_generic_token_discovered(self):
+        labeler = CorpusLabeler()
+        profile = labeler.fit(_corpus())
+        assert "malcode" in profile.generic_tokens
+        assert "emotet" not in profile.generic_tokens
+        assert "qakbot" not in profile.generic_tokens
+
+    def test_alias_folded_into_family(self):
+        labeler = CorpusLabeler(alias_cooccurrence=0.9)
+        profile = labeler.fit(_corpus())
+        assert profile.aliases.get("emotetx") == "emotet"
+
+    def test_prevalence_counts(self):
+        labeler = CorpusLabeler()
+        profile = labeler.fit(_corpus())
+        top = dict(profile.top_families())
+        assert top["emotet"] >= 3
+        assert top["qakbot"] >= 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            CorpusLabeler(generic_threshold=0.0)
+        with pytest.raises(ConfigError):
+            CorpusLabeler(alias_cooccurrence=1.5)
+
+    def test_label_before_fit_rejected(self):
+        with pytest.raises(ConfigError):
+            CorpusLabeler().label({"a": "Emotet.x"})
+
+
+class TestLabel:
+    def test_generic_tokens_suppressed_at_labelling(self):
+        labeler = CorpusLabeler()
+        labeler.fit(_corpus())
+        vote = labeler.label({"a": "Trojan.Malcode.Generic",
+                              "b": "Emotet.abc123yz"})
+        assert vote.family == "emotet"
+
+    def test_alias_resolved_at_labelling(self):
+        labeler = CorpusLabeler()
+        labeler.fit(_corpus())
+        vote = labeler.label({"a": "W32/Emotetx.A", "b": "Emotet.q"})
+        assert vote.family == "emotet"
+        assert vote.support == 2
+
+    def test_label_corpus_covers_everything(self):
+        labeler = CorpusLabeler()
+        votes = labeler.label_corpus(_corpus())
+        assert len(votes) == 24
+        emotet_votes = sum(1 for v in votes.values()
+                           if v.family == "emotet")
+        assert emotet_votes >= 3
+
+
+class TestAccuracy:
+    def test_accuracy_metric(self):
+        labeler = CorpusLabeler()
+        corpus = _corpus()
+        votes = labeler.label_corpus(corpus)
+        truth = {sha: FAMILIES[i // 3] for i, sha in enumerate(corpus)}
+        assert accuracy_against_truth(votes, truth) > 0.9
+
+    def test_benign_samples_excluded(self):
+        from repro.labeling.families import FamilyVote
+
+        votes = {"x": FamilyVote("emotet", 3, 3, ())}
+        assert accuracy_against_truth(votes, {"x": None}) == 0.0
+
+
+class TestStoreIntegration:
+    def test_end_to_end_on_experiment(self, experiment):
+        corpus, truth = build_corpus_from_store(
+            experiment.store, experiment.engine_names, experiment.service
+        )
+        assert len(corpus) == experiment.store.sample_count
+        labeler = CorpusLabeler()
+        votes = labeler.label_corpus(corpus)
+        accuracy = accuracy_against_truth(votes, truth)
+        # The simulator's detection strings carry the family ~82 % of the
+        # time per engine; plurality voting should recover most truths.
+        assert accuracy > 0.75
+
+    def test_benign_samples_get_no_family(self, experiment):
+        corpus, truth = build_corpus_from_store(
+            experiment.store, experiment.engine_names, experiment.service
+        )
+        labeler = CorpusLabeler()
+        votes = labeler.label_corpus(corpus)
+        benign_with_family = sum(
+            1 for sha, vote in votes.items()
+            if truth[sha] is None and vote.confident
+        )
+        benign_total = sum(1 for f in truth.values() if f is None)
+        if benign_total:
+            assert benign_with_family / benign_total < 0.10

@@ -1,0 +1,86 @@
+"""Unit tests for threshold recommendation (repro.core.recommend)."""
+
+import pytest
+
+from repro.core.categorize import CategoryCounts
+from repro.core.recommend import (
+    best_range,
+    recommend_threshold_ranges,
+)
+from repro.errors import ConfigError
+
+
+def _counts(t: int, gray_fraction: float) -> CategoryCounts:
+    gray = int(round(gray_fraction * 1000))
+    return CategoryCounts(threshold=t, white=1000 - gray, black=0, gray=gray)
+
+
+class TestRanges:
+    def test_paper_shape_two_ranges(self):
+        """A hump in the middle yields two recommended ranges, like the
+        paper's 1-11 and 28-50."""
+        distribution = (
+            [_counts(t, 0.05) for t in range(1, 12)]
+            + [_counts(t, 0.14) for t in range(12, 28)]
+            + [_counts(t, 0.06) for t in range(28, 51)]
+        )
+        ranges = recommend_threshold_ranges(distribution, gray_limit=0.10)
+        assert [(r.low, r.high) for r in ranges] == [(1, 11), (28, 50)]
+
+    def test_single_range_when_monotone(self):
+        distribution = [_counts(t, 0.02 + 0.01 * t) for t in range(1, 20)]
+        ranges = recommend_threshold_ranges(distribution, gray_limit=0.10)
+        assert len(ranges) == 1
+        assert ranges[0].low == 1
+
+    def test_no_ranges_when_always_gray(self):
+        distribution = [_counts(t, 0.5) for t in range(1, 10)]
+        assert recommend_threshold_ranges(distribution) == []
+
+    def test_max_gray_recorded(self):
+        distribution = [_counts(1, 0.03), _counts(2, 0.08)]
+        (r,) = recommend_threshold_ranges(distribution, gray_limit=0.10)
+        assert r.max_gray_fraction == pytest.approx(0.08)
+
+    def test_unsorted_input_handled(self):
+        distribution = [_counts(3, 0.01), _counts(1, 0.01), _counts(2, 0.01)]
+        (r,) = recommend_threshold_ranges(distribution)
+        assert (r.low, r.high) == (1, 3)
+
+    def test_contains(self):
+        distribution = [_counts(t, 0.01) for t in range(5, 9)]
+        (r,) = recommend_threshold_ranges(distribution)
+        assert 6 in r
+        assert 9 not in r
+
+    def test_gray_limit_validation(self):
+        with pytest.raises(ConfigError):
+            recommend_threshold_ranges([], gray_limit=0.0)
+
+    def test_non_contiguous_thresholds_split_ranges(self):
+        distribution = [_counts(1, 0.01), _counts(2, 0.01),
+                        _counts(10, 0.01)]
+        ranges = recommend_threshold_ranges(distribution)
+        assert [(r.low, r.high) for r in ranges] == [(1, 2), (10, 10)]
+
+
+class TestBestRange:
+    def test_widest_wins(self):
+        distribution = (
+            [_counts(t, 0.05) for t in range(1, 12)]
+            + [_counts(t, 0.14) for t in range(12, 28)]
+            + [_counts(t, 0.06) for t in range(28, 51)]
+        )
+        ranges = recommend_threshold_ranges(distribution)
+        assert (best_range(ranges).low, best_range(ranges).high) == (28, 50)
+
+    def test_tie_breaks_toward_low(self):
+        ranges = recommend_threshold_ranges(
+            [_counts(1, 0.01), _counts(2, 0.01),
+             _counts(9, 0.01), _counts(10, 0.01)]
+        )
+        assert best_range(ranges).low == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            best_range([])

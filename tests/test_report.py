@@ -1,0 +1,53 @@
+"""Tests for the markdown report generator (repro.analysis.report)."""
+
+import pytest
+
+from repro.analysis.report import build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text(experiment):
+    return build_report(experiment)
+
+
+class TestBuildReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "# VirusTotal label-dynamics reproduction report",
+            "## Dataset overview (§4)",
+            "## Label dynamics (§5)",
+            "## Stabilisation (§6)",
+            "## Individual engines (§7)",
+            "## Measurement-window sensitivity (§8)",
+            "## Calibration vs paper",
+        ):
+            assert heading in report_text, heading
+
+    def test_tables_and_figures_rendered(self, report_text):
+        for landmark in (
+            "05/2021 Reports",          # Table 2
+            "File Type",                # Table 3 / Fig 6
+            "Figure 1",
+            "Observation 1",
+            "Spearman rho",             # Fig 7
+            "gray peak",                # Fig 8
+            "Observation 8",
+            "flippiest engines",        # Fig 10
+            "groups:",                  # Fig 11
+            "calibration report",
+        ):
+            assert landmark in report_text, landmark
+
+    def test_code_blocks_balanced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+
+    def test_scenario_header_mentions_counts(self, report_text,
+                                             experiment):
+        assert f"{experiment.store.sample_count:,} samples" in report_text
+
+
+class TestWriteReport:
+    def test_writes_file(self, experiment, tmp_path):
+        path = write_report(experiment, tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# VirusTotal")

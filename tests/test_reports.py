@@ -1,0 +1,98 @@
+"""Unit tests for scan-report records (repro.vt.reports)."""
+
+import pytest
+
+from repro.errors import CorruptRecordError
+from repro.vt.reports import (
+    LABEL_BENIGN,
+    LABEL_MALICIOUS,
+    LABEL_UNDETECTED,
+    EngineResult,
+    ScanReport,
+    decode_labels,
+    encode_labels,
+)
+
+from conftest import make_report
+
+
+class TestLabelEncoding:
+    def test_round_trip(self):
+        labels = [1, 0, -1, 1, 0]
+        assert decode_labels(encode_labels(labels)) == labels
+
+    def test_encoding_is_one_byte_per_engine(self):
+        assert len(encode_labels([0] * 70)) == 70
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(CorruptRecordError):
+            encode_labels([5])
+
+    def test_invalid_byte_rejected(self):
+        with pytest.raises(CorruptRecordError):
+            decode_labels(b"\x07")
+
+
+class TestEngineResult:
+    def test_detected(self):
+        assert EngineResult("E", LABEL_MALICIOUS, 1).detected
+        assert not EngineResult("E", LABEL_BENIGN, 1).detected
+
+    def test_responded(self):
+        assert EngineResult("E", LABEL_BENIGN, 1).responded
+        assert not EngineResult("E", LABEL_UNDETECTED, 1).responded
+
+
+class TestScanReport:
+    def test_av_rank_aliases_positives(self):
+        report = make_report(labels=[1, 1, 0, 0, -1])
+        assert report.positives == 2
+        assert report.av_rank == 2
+        assert report.total == 4
+
+    def test_label_of(self):
+        report = make_report(labels=[1, 0, -1, 0, 0])
+        assert report.label_of(0) == LABEL_MALICIOUS
+        assert report.label_of(1) == LABEL_BENIGN
+        assert report.label_of(2) == LABEL_UNDETECTED
+
+    def test_engine_labels_round_trip(self):
+        labels = [1, 0, -1, 1, 0]
+        assert make_report(labels=labels).engine_labels() == labels
+
+    def test_iter_results_names_align(self):
+        report = make_report(labels=[1, 0, -1, 0, 0],
+                             versions=[9, 8, 7, 6, 5])
+        results = list(report.iter_results(["a", "b", "c", "d", "e"]))
+        assert [r.engine for r in results] == ["a", "b", "c", "d", "e"]
+        assert results[0].detected
+        assert results[2].label == LABEL_UNDETECTED
+        assert results[0].version == 9
+
+    def test_iter_results_rejects_wrong_fleet_size(self):
+        report = make_report()
+        with pytest.raises(CorruptRecordError):
+            list(report.iter_results(["only", "two"]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CorruptRecordError):
+            ScanReport(
+                sha256="a" * 64, file_type="TXT", scan_time=0,
+                positives=0, total=1, labels=encode_labels([0]),
+                versions=(1, 2),
+            )
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(CorruptRecordError):
+            ScanReport(
+                sha256="a" * 64, file_type="TXT", scan_time=0,
+                positives=3, total=1, labels=encode_labels([0]),
+                versions=(1,),
+            )
+
+    def test_record_round_trip(self):
+        report = make_report(labels=[1, 0, -1, 1, 0],
+                             versions=[2, 4, 6, 8, 10],
+                             first_submission=-500)
+        rebuilt = ScanReport.from_record(report.to_record())
+        assert rebuilt == report

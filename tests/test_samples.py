@@ -1,0 +1,71 @@
+"""Unit tests for sample records (repro.vt.samples)."""
+
+import pytest
+
+from repro.errors import InvalidHashError
+from repro.vt.samples import Sample, sha256_of, validate_sha256
+
+
+class TestHashes:
+    def test_sha256_of_is_deterministic(self):
+        assert sha256_of("x") == sha256_of("x")
+
+    def test_sha256_of_distinct_tokens_differ(self):
+        assert sha256_of("a") != sha256_of("b")
+
+    def test_sha256_of_shape(self):
+        digest = sha256_of("token")
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_validate_normalises_case_and_whitespace(self):
+        raw = ("  " + sha256_of("x").upper() + " ")
+        assert validate_sha256(raw) == sha256_of("x")
+
+    @pytest.mark.parametrize("bad", ["", "abc", "g" * 64, "a" * 63, "a" * 65])
+    def test_validate_rejects_malformed(self, bad):
+        with pytest.raises(InvalidHashError):
+            validate_sha256(bad)
+
+
+class TestSample:
+    def _sample(self, **kw) -> Sample:
+        defaults = dict(
+            sha256=sha256_of("s"),
+            file_type="Win32 EXE",
+            malicious=False,
+            first_seen=100,
+        )
+        defaults.update(kw)
+        return Sample(**defaults)
+
+    def test_fresh_iff_first_seen_in_window(self):
+        assert self._sample(first_seen=0).fresh
+        assert self._sample(first_seen=12345).fresh
+        assert not self._sample(first_seen=-1).fresh
+
+    def test_invalid_hash_rejected_at_construction(self):
+        with pytest.raises(InvalidHashError):
+            self._sample(sha256="nope")
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            self._sample(size_bytes=0)
+
+    def test_record_submission_updates_table1_fields(self):
+        s = self._sample()
+        s.record_submission(500)
+        s.record_submission(900)
+        assert s.times_submitted == 2
+        assert s.last_submission_date == 900
+
+    def test_record_analysis_only_touches_analysis_date(self):
+        s = self._sample()
+        s.record_analysis(700)
+        assert s.last_analysis_date == 700
+        assert s.times_submitted == 0
+        assert s.last_submission_date is None
+
+    def test_hash_lowercased_on_construction(self):
+        s = self._sample(sha256=sha256_of("s").upper())
+        assert s.sha256 == sha256_of("s")

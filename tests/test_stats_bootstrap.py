@@ -1,0 +1,91 @@
+"""Tests for bootstrap confidence intervals (repro.stats.bootstrap)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, InsufficientDataError
+from repro.stats.bootstrap import ConfidenceInterval, bootstrap_ci, fraction_ci
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_estimate(self):
+        ci = bootstrap_ci(list(range(100)), seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 5.0, 9.0] * 10
+        a = bootstrap_ci(data, seed=3)
+        b = bootstrap_ci(data, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_wider_data_wider_interval(self):
+        narrow = bootstrap_ci([10.0] * 30 + [10.5] * 30, seed=2)
+        wide = bootstrap_ci([0.0] * 30 + [20.0] * 30, seed=2)
+        assert wide.width > narrow.width
+
+    def test_constant_data_zero_width(self):
+        ci = bootstrap_ci([5.0] * 50, seed=4)
+        assert ci.width == 0.0
+        assert ci.estimate == 5.0
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1, 2, 3, 100], statistic=np.median, seed=5)
+        assert ci.estimate == 2.5
+
+    def test_contains(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6, 0.95, 100)
+        assert 0.45 in ci
+        assert 0.7 not in ci
+
+    def test_higher_confidence_wider(self):
+        data = list(np.random.default_rng(0).normal(size=200))
+        narrow = bootstrap_ci(data, confidence=0.80, seed=6)
+        wide = bootstrap_ci(data, confidence=0.99, seed=6)
+        assert wide.width >= narrow.width
+
+    def test_validation(self):
+        with pytest.raises(InsufficientDataError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0], replicates=2)
+
+
+class TestFractionCI:
+    def test_brackets_p_hat(self):
+        ci = fraction_ci(501, 1000, seed=1)
+        assert ci.low <= 0.501 <= ci.high
+
+    def test_coverage_roughly_calibrated(self):
+        """~95 % of intervals from Binomial(n, 0.3) draws contain 0.3."""
+        rng = np.random.default_rng(7)
+        hits = 0
+        trials = 200
+        for i in range(trials):
+            successes = int(rng.binomial(400, 0.3))
+            ci = fraction_ci(successes, 400, seed=i)
+            if 0.3 in ci:
+                hits += 1
+        assert hits / trials > 0.85
+
+    def test_larger_n_narrower(self):
+        small = fraction_ci(30, 100, seed=2)
+        large = fraction_ci(3000, 10_000, seed=2)
+        assert large.width < small.width
+
+    def test_edge_fractions(self):
+        assert fraction_ci(0, 50, seed=3).estimate == 0.0
+        assert fraction_ci(50, 50, seed=3).estimate == 1.0
+
+    def test_validation(self):
+        with pytest.raises(InsufficientDataError):
+            fraction_ci(0, 0)
+        with pytest.raises(ConfigError):
+            fraction_ci(5, 3)
+        with pytest.raises(ConfigError):
+            fraction_ci(1, 10, confidence=0.0)
+
+    def test_str_rendering(self):
+        text = str(fraction_ci(50, 100, seed=1))
+        assert "[" in text and "@95%" in text

@@ -1,0 +1,80 @@
+"""Unit tests for the empirical CDF (repro.stats.cdf)."""
+
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.stats.cdf import EmpiricalCDF
+
+
+class TestAt:
+    def test_basic_fractions(self):
+        cdf = EmpiricalCDF([1, 2, 2, 3])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(1) == 0.25
+        assert cdf.at(2) == 0.75
+        assert cdf.at(3) == 1.0
+        assert cdf.at(99) == 1.0
+
+    def test_below_is_strict(self):
+        cdf = EmpiricalCDF([1, 2, 2, 3])
+        assert cdf.below(2) == 0.25
+        assert cdf.below(3) == 0.75
+        assert cdf.below(1) == 0.0
+
+    def test_paper_fig1_landmark_semantics(self):
+        """'88.81 % have only one report' is at(1); '<6 reports' is below(6)."""
+        counts = [1] * 8 + [2, 7]
+        cdf = EmpiricalCDF(counts)
+        assert cdf.at(1) == 0.8
+        assert cdf.below(6) == 0.9
+
+
+class TestQuantile:
+    def test_inverse_relationship(self):
+        cdf = EmpiricalCDF([10, 20, 30, 40])
+        assert cdf.quantile(0.25) == 10
+        assert cdf.quantile(0.5) == 20
+        assert cdf.quantile(1.0) == 40
+
+    def test_bounds(self):
+        cdf = EmpiricalCDF([5])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.2)
+
+    def test_quantile_consistent_with_at(self):
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        cdf = EmpiricalCDF(data)
+        for p in (0.1, 0.3, 0.5, 0.8, 1.0):
+            assert cdf.at(cdf.quantile(p)) >= p
+
+
+class TestShape:
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            EmpiricalCDF([])
+
+    def test_min_max(self):
+        cdf = EmpiricalCDF([7, 1, 9])
+        assert cdf.min == 1
+        assert cdf.max == 9
+
+    def test_support_deduplicates(self):
+        assert EmpiricalCDF([2, 1, 2, 3, 3]).support() == [1, 2, 3]
+
+    def test_steps_monotone_ending_at_one(self):
+        cdf = EmpiricalCDF([1, 1, 2, 5])
+        steps = list(cdf.steps())
+        assert steps[-1][1] == 1.0
+        fractions = [f for _, f in steps]
+        assert fractions == sorted(fractions)
+        values = [v for v, _ in steps]
+        assert values == sorted(values)
+
+    def test_table(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf.table([2, 4]) == [(2, 0.5), (4, 1.0)]
+
+    def test_n(self):
+        assert EmpiricalCDF([1, 2, 3]).n == 3

@@ -1,0 +1,43 @@
+"""Unit tests for transition/agreement helpers (repro.stats.contingency)."""
+
+import math
+
+from repro.stats.contingency import (
+    agreement_table,
+    count_changes,
+    transitions,
+)
+
+
+class TestTransitions:
+    def test_pairs(self):
+        assert transitions([1, 0, 0, 1]) == [(1, 0), (0, 0), (0, 1)]
+
+    def test_empty_and_single(self):
+        assert transitions([]) == []
+        assert transitions([1]) == []
+
+    def test_count_changes(self):
+        assert count_changes([0, 0, 1, 1, 0]) == 2
+        assert count_changes([5, 5, 5]) == 0
+
+
+class TestAgreementTable:
+    def test_counts(self):
+        table = agreement_table([1, 0, 1, -1], [1, 1, 1, -1])
+        assert table.counts[(1, 1)] == 2
+        assert table.counts[(0, 1)] == 1
+        assert table.counts[(-1, -1)] == 1
+        assert table.n == 4
+
+    def test_agreement_rate(self):
+        table = agreement_table([1, 0, 1], [1, 1, 1])
+        assert table.agreement_rate == 2 / 3
+
+    def test_empty_agreement_rate_is_nan(self):
+        assert math.isnan(agreement_table([], []).agreement_rate)
+
+    def test_marginals(self):
+        table = agreement_table([1, 0, 1], [0, 0, 1])
+        assert table.marginal_first()[1] == 2
+        assert table.marginal_second()[0] == 2

@@ -1,0 +1,102 @@
+"""Unit tests for descriptive statistics (repro.stats.descriptive)."""
+
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.stats.descriptive import (
+    boxplot_stats,
+    mean,
+    median,
+    quantile,
+    stdev,
+)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            mean([])
+
+    def test_stdev_matches_hand_computation(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.1380899, abs=1e-6)
+
+    def test_stdev_needs_two_points(self):
+        with pytest.raises(InsufficientDataError):
+            stdev([1])
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 3, 2]) == 2.5
+
+
+class TestQuantile:
+    def test_endpoints(self):
+        data = [1, 2, 3, 4, 5]
+        assert quantile(data, 0.0) == 1
+        assert quantile(data, 1.0) == 5
+
+    def test_interpolation_matches_numpy(self):
+        import numpy as np
+
+        data = sorted([0.3, 1.7, 2.2, 9.9, 4.4, 3.3])
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert quantile(data, q) == pytest.approx(
+                float(np.quantile(data, q))
+            )
+
+    def test_single_element(self):
+        assert quantile([7], 0.5) == 7
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            quantile([1, 2], 1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            quantile([], 0.5)
+
+
+class TestBoxplot:
+    def test_simple_box(self):
+        stats = boxplot_stats(range(1, 10))
+        assert stats.median == 5
+        assert stats.q1 == 3
+        assert stats.q3 == 7
+        assert stats.iqr == 4
+        assert stats.outlier_count == 0
+        assert stats.whisker_low == 1
+        assert stats.whisker_high == 9
+
+    def test_outlier_detection(self):
+        data = list(range(1, 10)) + [1000]
+        stats = boxplot_stats(data)
+        assert stats.outlier_count == 1
+        assert stats.whisker_high == 9
+
+    def test_mean_included(self):
+        stats = boxplot_stats([1, 2, 3])
+        assert stats.mean == 2
+
+    def test_count(self):
+        assert boxplot_stats([5] * 17).count == 17
+
+    def test_constant_data(self):
+        stats = boxplot_stats([4, 4, 4, 4])
+        assert stats.iqr == 0
+        assert stats.whisker_low == stats.whisker_high == 4
+        assert stats.outlier_count == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            boxplot_stats([])
+
+    def test_matches_matplotlib_convention(self):
+        """Whiskers reach the most extreme inlier, not the fence itself."""
+        data = [1, 2, 3, 4, 5, 6, 7, 8, 20]
+        stats = boxplot_stats(data)
+        # q1=3, q3=7, fence = 7 + 1.5*4 = 13 -> whisker at 8, 20 out.
+        assert stats.whisker_high == 8
+        assert stats.outlier_count == 1

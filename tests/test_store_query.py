@@ -1,0 +1,120 @@
+"""Tests for the store query layer (repro.store.query)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.store.query import ReportQuery
+from repro.store.reportstore import ReportStore
+from repro.vt.clock import MINUTES_PER_DAY
+
+from conftest import make_report, make_sha
+
+
+@pytest.fixture()
+def store():
+    store = ReportStore()
+    # Two PE samples (one hot), one TXT sample, spread over time.
+    store.ingest(make_report(sha=make_sha("pe1"), file_type="Win32 EXE",
+                             scan_time=5 * MINUTES_PER_DAY,
+                             labels=[1, 1, 1, 0, 0]))
+    store.ingest(make_report(sha=make_sha("pe1"), file_type="Win32 EXE",
+                             scan_time=60 * MINUTES_PER_DAY,
+                             labels=[1, 1, 1, 1, 0]))
+    store.ingest(make_report(sha=make_sha("pe2"), file_type="Win64 EXE",
+                             scan_time=10 * MINUTES_PER_DAY,
+                             labels=[0, 0, 0, 0, 0],
+                             first_submission=-99))
+    store.ingest(make_report(sha=make_sha("txt"), file_type="TXT",
+                             scan_time=100 * MINUTES_PER_DAY,
+                             labels=[1, 0, 0, 0, 0]))
+    return store
+
+
+class TestFilters:
+    def test_no_filters_matches_everything(self, store):
+        assert ReportQuery(store).count() == 4
+
+    def test_file_types(self, store):
+        q = ReportQuery(store).file_types("Win32 EXE", "Win64 EXE")
+        assert q.count() == 3
+
+    def test_scanned_between(self, store):
+        q = ReportQuery(store).scanned_between(day_lo=8, day_hi=70)
+        assert q.count() == 2
+
+    def test_min_max_positives(self, store):
+        assert ReportQuery(store).min_positives(3).count() == 2
+        assert ReportQuery(store).max_positives(0).count() == 1
+
+    def test_fresh_only(self, store):
+        q = ReportQuery(store).fresh_only()
+        assert make_sha("pe2") not in q.sample_hashes()
+
+    def test_detected_by(self, store):
+        q = ReportQuery(store).detected_by(3)
+        assert q.count() == 1
+
+    def test_chaining_is_conjunction(self, store):
+        q = (ReportQuery(store)
+             .file_types("Win32 EXE")
+             .min_positives(4))
+        assert q.count() == 1
+
+    def test_where_custom_predicate(self, store):
+        q = ReportQuery(store).where(lambda r: r.positives % 2 == 0)
+        assert q.count() == 2  # ranks 4 and 0
+
+    def test_immutability(self, store):
+        base = ReportQuery(store).file_types("TXT")
+        refined = base.min_positives(5)
+        assert base.count() == 1
+        assert refined.count() == 0
+
+    def test_validation(self, store):
+        with pytest.raises(ConfigError):
+            ReportQuery(store).file_types()
+        with pytest.raises(ConfigError):
+            ReportQuery(store).scanned_between(10, 5)
+        with pytest.raises(ConfigError):
+            ReportQuery(store).min_positives(-1)
+        with pytest.raises(ConfigError):
+            ReportQuery(store).detected_by(-2)
+
+
+class TestProjections:
+    def test_sample_hashes(self, store):
+        q = ReportQuery(store).file_types("Win32 EXE")
+        assert q.sample_hashes() == {make_sha("pe1")}
+
+    def test_positives_histogram(self, store):
+        histogram = ReportQuery(store).positives_histogram()
+        assert histogram == {3: 1, 4: 1, 0: 1, 1: 1}
+
+    def test_sample_series_sorted(self, store):
+        series = dict(ReportQuery(store)
+                      .file_types("Win32 EXE").sample_series())
+        reports = series[make_sha("pe1")]
+        assert [r.positives for r in reports] == [3, 4]
+
+    def test_first(self, store):
+        assert ReportQuery(store).min_positives(99).first() is None
+        first = ReportQuery(store).file_types("TXT").first()
+        assert first is not None
+        assert first.file_type == "TXT"
+
+
+class TestOnExperiment:
+    def test_query_consistent_with_store(self, experiment):
+        total = ReportQuery(experiment.store).count()
+        assert total == experiment.store.report_count
+
+    def test_partition_by_freshness(self, experiment):
+        fresh = ReportQuery(experiment.store).fresh_only().count()
+        # The dynamics scenario is fresh-only.
+        assert fresh == experiment.store.report_count
+
+    def test_rank_partition(self, experiment):
+        q = ReportQuery(experiment.store)
+        low = q.max_positives(9).count()
+        high = q.min_positives(10).count()
+        assert low + high == experiment.store.report_count

@@ -1,0 +1,180 @@
+"""Unit and integration tests for ReportStore (repro.store.reportstore)."""
+
+import pytest
+
+from repro.errors import CorruptRecordError, ShardClosedError, UnknownSampleError
+from repro.store.reportstore import ReportStore
+from repro.vt import clock
+
+from conftest import make_report, make_sha
+
+
+def _month_time(month: int, offset: int = 1000) -> int:
+    return clock.MONTH_STARTS[month] + offset
+
+
+@pytest.fixture()
+def store():
+    return ReportStore(block_records=4)
+
+
+def _fill(store: ReportStore, n_samples: int = 3, scans_each: int = 3):
+    reports = []
+    for i in range(n_samples):
+        sha = make_sha(f"s{i}")
+        for k in range(scans_each):
+            report = make_report(
+                sha=sha,
+                scan_time=_month_time(k, offset=100 * i + k),
+                labels=[1, 0, 0, 0, 0],
+                first_submission=0 if i % 2 == 0 else -50,
+            )
+            reports.append(report)
+            store.ingest(report)
+    return reports
+
+
+class TestIngest:
+    def test_counts(self, store):
+        _fill(store)
+        assert store.report_count == 9
+        assert store.sample_count == 3
+
+    def test_monthly_sharding(self, store):
+        _fill(store, scans_each=3)
+        assert sorted(store.shards) == [0, 1, 2]
+
+    def test_fresh_sample_accounting(self, store):
+        _fill(store, n_samples=4)
+        assert store.fresh_sample_count == 2  # i = 0 and 2
+
+    def test_ingest_batch_returns_count(self, store):
+        batch = [make_report(sha=make_sha("b"), scan_time=10),
+                 make_report(sha=make_sha("b"), scan_time=20)]
+        assert store.ingest_batch(batch) == 2
+
+    def test_closed_store_rejects_ingest(self, store):
+        _fill(store)
+        store.close()
+        with pytest.raises(ShardClosedError):
+            store.ingest(make_report())
+
+
+class TestRetrieval:
+    def test_contains(self, store):
+        _fill(store)
+        assert make_sha("s0") in store
+        assert make_sha("ghost") not in store
+
+    def test_reports_for_sorted_by_time(self, store):
+        _fill(store)
+        reports = store.reports_for(make_sha("s1"))
+        assert len(reports) == 3
+        times = [r.scan_time for r in reports]
+        assert times == sorted(times)
+
+    def test_reports_for_unknown_raises(self, store):
+        with pytest.raises(UnknownSampleError):
+            store.reports_for(make_sha("ghost"))
+
+    def test_sample_metadata(self, store):
+        _fill(store)
+        assert store.sample_file_type(make_sha("s0")) == "Win32 EXE"
+        assert store.sample_is_fresh(make_sha("s0"))
+        assert not store.sample_is_fresh(make_sha("s1"))
+
+    def test_metadata_unknown_raises(self, store):
+        with pytest.raises(UnknownSampleError):
+            store.sample_file_type(make_sha("ghost"))
+        with pytest.raises(UnknownSampleError):
+            store.report_count_of(make_sha("ghost"))
+
+    def test_iter_reports_visits_everything(self, store):
+        ingested = _fill(store)
+        assert sorted(r.sha256 + str(r.scan_time)
+                      for r in store.iter_reports()) == sorted(
+            r.sha256 + str(r.scan_time) for r in ingested
+        )
+
+    def test_iter_sample_reports_groups(self, store):
+        _fill(store)
+        grouped = dict(store.iter_sample_reports())
+        assert set(grouped) == {make_sha(f"s{i}") for i in range(3)}
+        for reports in grouped.values():
+            assert len(reports) == 3
+
+    def test_report_count_of(self, store):
+        _fill(store)
+        assert store.report_count_of(make_sha("s2")) == 3
+
+    def test_block_cache_consistency(self, store):
+        # Read the same sample repeatedly; the block cache must not
+        # corrupt results.
+        _fill(store, n_samples=6, scans_each=2)
+        first = store.reports_for(make_sha("s3"))
+        for _ in range(10):
+            assert store.reports_for(make_sha("s3")) == first
+
+
+class TestStats:
+    def test_table2_months(self, store):
+        _fill(store)
+        stats = store.stats()
+        assert len(stats.months) == clock.COLLECTION_MONTHS
+        assert stats.months[0].label == "05/2021"
+        assert stats.total_reports == 9
+
+    def test_compression_rate_positive(self, store):
+        _fill(store, n_samples=10)
+        store.close()
+        assert store.stats().compression_rate > 1.0
+
+    def test_fresh_fraction(self, store):
+        _fill(store, n_samples=4)
+        assert store.stats().fresh_fraction == pytest.approx(0.5)
+
+    def test_empty_store_stats(self):
+        stats = ReportStore().stats()
+        assert stats.total_reports == 0
+        assert stats.compression_rate == 0.0
+        assert stats.fresh_fraction == 0.0
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, store, tmp_path):
+        ingested = _fill(store, n_samples=5, scans_each=2)
+        store.close()
+        path = tmp_path / "reports.store"
+        store.save(path)
+        loaded = ReportStore.load(path)
+        assert loaded.report_count == store.report_count
+        assert loaded.sample_count == store.sample_count
+        assert loaded.fresh_sample_count == store.fresh_sample_count
+        for i in range(5):
+            sha = make_sha(f"s{i}")
+            assert loaded.reports_for(sha) == store.reports_for(sha)
+        del ingested
+
+    def test_loaded_store_is_sealed(self, store, tmp_path):
+        _fill(store)
+        path = tmp_path / "x.store"
+        store.save(path)
+        loaded = ReportStore.load(path)
+        with pytest.raises(ShardClosedError):
+            loaded.ingest(make_report())
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"this is not a store")
+        with pytest.raises(CorruptRecordError):
+            ReportStore.load(path)
+
+    def test_save_preserves_accounting(self, store, tmp_path):
+        _fill(store, n_samples=6)
+        path = tmp_path / "acct.store"
+        store.save(path)
+        loaded = ReportStore.load(path)
+        original = store.stats()
+        reloaded = loaded.stats()
+        assert reloaded.total_reports == original.total_reports
+        assert reloaded.verbose_bytes == original.verbose_bytes

@@ -1,0 +1,52 @@
+"""Tests for seed sweeps (repro.analysis.sweeps)."""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_seeds
+from repro.errors import ConfigError
+from repro.synth.scenario import tiny_scenario
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_seeds(tiny_scenario(350), seeds=(1, 2))
+
+
+class TestSweep:
+    def test_covers_all_calibration_targets(self, sweep):
+        assert len(sweep.statistics) >= 14
+        assert sweep.seeds == (1, 2)
+
+    def test_values_per_seed(self, sweep):
+        for stat in sweep.statistics:
+            assert len(stat.values) == 2
+
+    def test_statistic_lookup(self, sweep):
+        stat = sweep.statistic("dynamic share of multi-report samples")
+        assert stat.section == "Obs 1"
+        with pytest.raises(KeyError):
+            sweep.statistic("nonsense")
+
+    def test_mean_and_spread(self, sweep):
+        stat = sweep.statistics[0]
+        assert min(stat.values) <= stat.mean <= max(stat.values)
+        assert stat.spread == max(stat.values) - min(stat.values)
+
+    def test_interval_brackets_mean(self, sweep):
+        for stat in sweep.statistics:
+            assert stat.interval.low <= stat.mean <= stat.interval.high
+
+    def test_render(self, sweep):
+        text = sweep.render()
+        assert "seed sweep over [1, 2]" in text
+        assert "Obs 1" in text
+
+    def test_relative_spread_finite(self, sweep):
+        assert 0.0 <= sweep.max_relative_spread() < 10.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_seeds(tiny_scenario(100), seeds=())
+
+    def test_seeds_differ_in_measurements(self, sweep):
+        assert any(stat.spread > 0 for stat in sweep.statistics)

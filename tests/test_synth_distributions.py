@@ -1,0 +1,102 @@
+"""Unit tests for workload samplers (repro.synth.distributions)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth import distributions as dist
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = random.Random(0)
+        choice = dist.WeightedChoice(["a", "b"], [9.0, 1.0])
+        draws = [choice.sample(rng) for _ in range(2000)]
+        share_a = draws.count("a") / len(draws)
+        assert share_a == pytest.approx(0.9, abs=0.03)
+
+    def test_zero_weight_never_drawn(self):
+        rng = random.Random(1)
+        choice = dist.WeightedChoice(["a", "b"], [1.0, 0.0])
+        assert all(choice.sample(rng) == "a" for _ in range(200))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            dist.WeightedChoice(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            dist.WeightedChoice([], [])
+        with pytest.raises(ConfigError):
+            dist.WeightedChoice(["a"], [-1.0])
+        with pytest.raises(ConfigError):
+            dist.WeightedChoice(["a", "b"], [0.0, 0.0])
+
+
+class TestDurations:
+    def test_lognormal_median(self):
+        rng = random.Random(2)
+        draws = [dist.lognormal_minutes(rng, 5.0, 1.0) for _ in range(4000)]
+        draws.sort()
+        median_days = draws[len(draws) // 2] / 1440
+        assert median_days == pytest.approx(5.0, rel=0.15)
+
+    def test_lognormal_minimum_one_minute(self):
+        rng = random.Random(3)
+        assert all(dist.lognormal_minutes(rng, 0.001, 2.0) >= 1
+                   for _ in range(100))
+
+    def test_lognormal_validation(self):
+        with pytest.raises(ConfigError):
+            dist.lognormal_minutes(random.Random(0), 0.0, 1.0)
+
+    def test_lognormal_bytes_floor(self):
+        rng = random.Random(4)
+        assert all(dist.lognormal_bytes(rng, 100, sigma=3.0) >= 16
+                   for _ in range(200))
+
+
+class TestParetoCount:
+    def test_bounds(self):
+        rng = random.Random(5)
+        for _ in range(500):
+            v = dist.pareto_count(rng, minimum=5, alpha=1.5, cap=100)
+            assert 5 <= v <= 100
+
+    def test_heavy_tail_exists(self):
+        rng = random.Random(6)
+        draws = [dist.pareto_count(rng, 5, 1.2, 10_000) for _ in range(3000)]
+        assert max(draws) > 100
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigError):
+            dist.pareto_count(random.Random(0), 5, 0.0, 10)
+
+
+class TestReportCounts:
+    def test_single_report_share_matches_fig1(self):
+        rng = random.Random(7)
+        draws = [dist.report_count(rng) for _ in range(20_000)]
+        share = draws.count(1) / len(draws)
+        assert share == pytest.approx(dist.SINGLE_REPORT_SHARE, abs=0.01)
+
+    def test_multi_counts_at_least_two(self):
+        rng = random.Random(8)
+        assert all(dist.multi_report_count(rng) >= 2 for _ in range(2000))
+
+    def test_two_report_share_of_multi(self):
+        rng = random.Random(9)
+        draws = [dist.multi_report_count(rng) for _ in range(20_000)]
+        share2 = draws.count(2) / len(draws)
+        assert share2 == pytest.approx(0.69, abs=0.02)
+
+    def test_tail_boost_shifts_mass_up(self):
+        rng_a = random.Random(10)
+        rng_b = random.Random(10)
+        plain = [dist.multi_report_count(rng_a, 1.0) for _ in range(8000)]
+        boosted = [dist.multi_report_count(rng_b, 2.0) for _ in range(8000)]
+        assert (sum(boosted) / len(boosted)) > (sum(plain) / len(plain))
+
+    def test_zero_multi_prob_always_one(self):
+        rng = random.Random(11)
+        assert all(dist.report_count(rng, multi_prob=0.0) == 1
+                   for _ in range(100))

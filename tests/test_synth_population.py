@@ -1,0 +1,120 @@
+"""Unit tests for population generation (repro.synth.population)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.population import PopulationGenerator
+from repro.synth.scenario import ScenarioConfig, dynamics_scenario
+from repro.vt.clock import WINDOW_MINUTES
+from repro.vt.filetypes import TOP20_FILE_TYPES
+
+
+@pytest.fixture(scope="module")
+def paper_specs():
+    config = ScenarioConfig(seed=21, n_samples=3000)
+    return list(PopulationGenerator(config))
+
+
+@pytest.fixture(scope="module")
+def s_specs():
+    return list(PopulationGenerator(dynamics_scenario(2000, seed=22)))
+
+
+class TestDeterminism:
+    def test_spec_for_is_stable(self):
+        gen = PopulationGenerator(ScenarioConfig(seed=1, n_samples=10))
+        a = gen.spec_for(3)
+        b = gen.spec_for(3)
+        assert a.sample.sha256 == b.sample.sha256
+        assert a.scan_times == b.scan_times
+
+    def test_independent_of_other_samples(self):
+        small = PopulationGenerator(ScenarioConfig(seed=1, n_samples=5))
+        large = PopulationGenerator(ScenarioConfig(seed=1, n_samples=5000))
+        assert small.spec_for(2).sample == large.spec_for(2).sample
+
+    def test_seeds_differ(self):
+        a = PopulationGenerator(ScenarioConfig(seed=1, n_samples=5))
+        b = PopulationGenerator(ScenarioConfig(seed=2, n_samples=5))
+        assert a.spec_for(0).sample.sha256 != b.spec_for(0).sample.sha256
+
+    def test_unique_hashes(self, paper_specs):
+        hashes = [s.sample.sha256 for s in paper_specs]
+        assert len(set(hashes)) == len(hashes)
+
+
+class TestPaperMarginals:
+    def test_single_report_majority(self, paper_specs):
+        singles = sum(1 for s in paper_specs if s.n_reports == 1)
+        assert singles / len(paper_specs) == pytest.approx(0.85, abs=0.05)
+
+    def test_fresh_fraction(self, paper_specs):
+        fresh = sum(1 for s in paper_specs if s.sample.fresh)
+        assert fresh / len(paper_specs) == pytest.approx(0.9176, abs=0.03)
+
+    def test_win32_exe_is_most_common(self, paper_specs):
+        from collections import Counter
+
+        counts = Counter(s.sample.file_type for s in paper_specs)
+        assert counts.most_common(1)[0][0] == "Win32 EXE"
+
+    def test_malicious_samples_have_families(self, paper_specs):
+        for spec in paper_specs:
+            if spec.sample.malicious:
+                assert spec.sample.family
+            else:
+                assert spec.sample.family is None
+
+    def test_scan_times_strictly_increasing(self, paper_specs):
+        for spec in paper_specs:
+            times = spec.scan_times
+            assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_scan_times_inside_window(self, paper_specs):
+        for spec in paper_specs:
+            assert spec.scan_times[0] >= 0
+            assert spec.scan_times[-1] < WINDOW_MINUTES
+
+    def test_fresh_first_scan_is_submission(self, paper_specs):
+        for spec in paper_specs:
+            if spec.sample.fresh:
+                assert spec.scan_times[0] == spec.sample.first_seen
+
+
+class TestDatasetSMode:
+    def test_all_multi_report(self, s_specs):
+        assert all(s.n_reports >= 2 for s in s_specs)
+
+    def test_all_fresh(self, s_specs):
+        assert all(s.sample.fresh for s in s_specs)
+
+    def test_top20_types_only(self, s_specs):
+        allowed = set(TOP20_FILE_TYPES)
+        assert all(s.sample.file_type in allowed for s in s_specs)
+
+    def test_malice_skew_from_rescan_boost(self, s_specs, paper_specs):
+        """The multi-report population is malware-skewed (§5.3 context)."""
+        s_rate = (sum(s.sample.malicious for s in s_specs) / len(s_specs))
+        paper_rate = (sum(s.sample.malicious for s in paper_specs)
+                      / len(paper_specs))
+        assert s_rate > paper_rate + 0.1
+
+
+class TestValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(n_samples=0)
+        with pytest.raises(ConfigError):
+            ScenarioConfig(min_reports=0)
+        with pytest.raises(ConfigError):
+            ScenarioConfig(file_types=("NotAType",))
+        with pytest.raises(ConfigError):
+            ScenarioConfig(fresh_fraction=1.2)
+
+    def test_with_override(self):
+        config = ScenarioConfig(seed=1).with_(n_samples=5)
+        assert config.n_samples == 5
+        assert config.seed == 1
+
+    def test_len(self):
+        assert len(PopulationGenerator(ScenarioConfig(n_samples=7))) == 7

@@ -1,0 +1,100 @@
+"""Unit tests for scan scheduling (repro.synth.submissions)."""
+
+import random
+
+import pytest
+
+from repro.synth.scenario import ScenarioConfig
+from repro.synth.submissions import draw_first_seen, schedule_scans
+from repro.vt.clock import WINDOW_MINUTES
+
+
+@pytest.fixture()
+def config():
+    return ScenarioConfig(seed=0, n_samples=1)
+
+
+class TestFirstSeen:
+    def test_fresh_inside_window(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            ts = draw_first_seen(rng, fresh=True)
+            assert 0 <= ts < WINDOW_MINUTES
+
+    def test_prewindow_negative(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            assert draw_first_seen(rng, fresh=False) < 0
+
+    def test_monthly_weighting_used(self):
+        """March 2022 (the paper's heaviest month) should outweigh
+        May 2021 (the lightest)."""
+        from repro.vt.clock import month_index
+
+        rng = random.Random(3)
+        months = [month_index(draw_first_seen(rng, True))
+                  for _ in range(20_000)]
+        assert months.count(10) > months.count(0)
+
+
+class TestSchedule:
+    def test_single_report(self, config):
+        rng = random.Random(4)
+        times = schedule_scans(rng, config, first_seen=5000, n_reports=1,
+                               malicious=False)
+        assert times == [5000]
+
+    def test_count_preserved(self, config):
+        rng = random.Random(5)
+        for n in (2, 5, 40, 500):
+            times = schedule_scans(rng, config, first_seen=1000,
+                                   n_reports=n, malicious=True)
+            assert len(times) == n
+
+    def test_strictly_increasing(self, config):
+        rng = random.Random(6)
+        for _ in range(100):
+            times = schedule_scans(rng, config, first_seen=1000,
+                                   n_reports=10, malicious=True)
+            assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_stays_in_window(self, config):
+        rng = random.Random(7)
+        for _ in range(100):
+            times = schedule_scans(
+                rng, config, first_seen=WINDOW_MINUTES - 5000,
+                n_reports=20, malicious=False,
+            )
+            assert times[-1] < WINDOW_MINUTES
+
+    def test_compression_near_window_end(self, config):
+        """A huge schedule close to the window end compresses instead of
+        truncating — report counts are never silently lost (Figure 1)."""
+        rng = random.Random(8)
+        times = schedule_scans(
+            rng, config, first_seen=WINDOW_MINUTES - 3000,
+            n_reports=1000, malicious=True,
+        )
+        assert len(times) == 1000
+        assert times[-1] < WINDOW_MINUTES
+        assert times[0] >= 0
+
+    def test_prewindow_sample_observed_inside_window(self, config):
+        rng = random.Random(9)
+        times = schedule_scans(rng, config, first_seen=-50_000,
+                               n_reports=3, malicious=False)
+        assert times[0] >= 0
+
+    def test_benign_intervals_longer_on_average(self, config):
+        rng_m = random.Random(10)
+        rng_b = random.Random(10)
+
+        def mean_interval(malicious, rng):
+            spans = []
+            for _ in range(400):
+                t = schedule_scans(rng, config, 1000, 2, malicious)
+                spans.append(t[1] - t[0])
+            return sum(spans) / len(spans)
+
+        assert (mean_interval(False, rng_b)
+                > mean_interval(True, rng_m))

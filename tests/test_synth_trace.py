@@ -1,0 +1,117 @@
+"""Tests for workload trace export/replay (repro.synth.trace)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.population import PopulationGenerator
+from repro.synth.scenario import tiny_scenario
+from repro.synth.trace import (
+    export_scenario_trace,
+    export_trace,
+    load_trace,
+    replay_trace,
+)
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    config = tiny_scenario(n_samples=80, seed=31)
+    path = tmp_path / "workload.jsonl"
+    count = export_scenario_trace(config, path)
+    assert count == 80
+    return path
+
+
+class TestExportLoad:
+    def test_round_trip_preserves_specs(self, trace_path):
+        config = tiny_scenario(n_samples=80, seed=31)
+        original = list(PopulationGenerator(config))
+        loaded = list(load_trace(trace_path))
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert a.sample.sha256 == b.sample.sha256
+            assert a.sample.file_type == b.sample.file_type
+            assert a.sample.malicious == b.sample.malicious
+            assert a.sample.first_seen == b.sample.first_seen
+            assert a.scan_times == b.scan_times
+            assert a.sample.family == b.sample.family
+
+    def test_blank_lines_skipped(self, tmp_path, trace_path):
+        doubled = tmp_path / "spaced.jsonl"
+        doubled.write_text(
+            "\n" + trace_path.read_text().replace("\n", "\n\n")
+        )
+        assert len(list(load_trace(doubled))) == 80
+
+    def test_export_trace_returns_count(self, tmp_path):
+        config = tiny_scenario(n_samples=5, seed=1)
+        n = export_trace(PopulationGenerator(config), tmp_path / "t.jsonl")
+        assert n == 5
+
+
+class TestValidation:
+    def _write(self, tmp_path, record):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        return path
+
+    def test_unknown_file_type_rejected(self, tmp_path):
+        path = self._write(tmp_path, {
+            "sha256": "a" * 64, "file_type": "NOPE", "malicious": False,
+            "first_seen": 0, "scan_times": [0],
+        })
+        with pytest.raises(ConfigError, match="bad.jsonl:1"):
+            list(load_trace(path))
+
+    def test_empty_scan_times_rejected(self, tmp_path):
+        path = self._write(tmp_path, {
+            "sha256": "a" * 64, "file_type": "TXT", "malicious": False,
+            "first_seen": 0, "scan_times": [],
+        })
+        with pytest.raises(ConfigError):
+            list(load_trace(path))
+
+    def test_non_increasing_times_rejected(self, tmp_path):
+        path = self._write(tmp_path, {
+            "sha256": "a" * 64, "file_type": "TXT", "malicious": False,
+            "first_seen": 0, "scan_times": [10, 10],
+        })
+        with pytest.raises(ConfigError):
+            list(load_trace(path))
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = self._write(tmp_path, {"sha256": "a" * 64})
+        with pytest.raises(ConfigError):
+            list(load_trace(path))
+
+
+class TestReplay:
+    def test_replay_produces_all_reports(self, trace_path):
+        service, store = replay_trace(trace_path, seed=31)
+        config = tiny_scenario(n_samples=80, seed=31)
+        expected = sum(
+            spec.n_reports for spec in PopulationGenerator(config)
+        )
+        assert store.report_count == expected
+        assert store.sample_count == 80
+        assert store.closed
+
+    def test_replay_matches_run_experiment(self, trace_path):
+        """Replaying an exported scenario reproduces run_experiment."""
+        from repro.analysis.experiment import run_experiment
+
+        _, store = replay_trace(trace_path, seed=31)
+        direct = run_experiment(tiny_scenario(n_samples=80, seed=31))
+        replayed = {(r.sha256, r.scan_time): r.positives
+                    for r in store.iter_reports()}
+        original = {(r.sha256, r.scan_time): r.positives
+                    for r in direct.store.iter_reports()}
+        assert replayed == original
+
+    def test_replay_deterministic(self, trace_path):
+        _, a = replay_trace(trace_path, seed=31)
+        _, b = replay_trace(trace_path, seed=31)
+        assert ([r.positives for r in a.iter_reports()]
+                == [r.positives for r in b.iter_reports()])

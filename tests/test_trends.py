@@ -1,0 +1,109 @@
+"""Tests for trajectory-shape classification (repro.core.trends)."""
+
+import pytest
+
+from repro.core.trends import (
+    Trend,
+    TrendParams,
+    classify_trend,
+    dominant_dynamic_trend,
+    summarize_trends,
+    trend_distribution,
+    trends_by_file_type,
+)
+from repro.errors import ConfigError
+
+from test_avrank import series
+
+
+class TestClassify:
+    def test_flat(self):
+        assert classify_trend(series([4, 4, 4])) is Trend.FLAT
+
+    def test_grower(self):
+        assert classify_trend(series([2, 8, 15, 24])) is Trend.GROWER
+
+    def test_grower_with_noise(self):
+        assert classify_trend(series([2, 9, 8, 15, 14, 24])) is Trend.GROWER
+
+    def test_decliner(self):
+        assert classify_trend(series([20, 12, 5, 1])) is Trend.DECLINER
+
+    def test_spike(self):
+        assert classify_trend(series([0, 6, 6, 0])) is Trend.SPIKE
+
+    def test_spike_with_imperfect_return(self):
+        assert classify_trend(series([0, 9, 1])) is Trend.SPIKE
+
+    def test_churn(self):
+        assert classify_trend(series([10, 13, 9, 12, 8, 11])) is Trend.CHURN
+
+    def test_two_point_change_is_directional(self):
+        assert classify_trend(series([3, 7])) is Trend.GROWER
+        assert classify_trend(series([7, 3])) is Trend.DECLINER
+
+    def test_params_validated(self):
+        with pytest.raises(ConfigError):
+            TrendParams(direction_share=0.0)
+        with pytest.raises(ConfigError):
+            TrendParams(spike_return=1.0)
+
+
+class TestAggregates:
+    def _pool(self):
+        return [
+            series([1, 1]),             # flat
+            series([1, 9]),             # grower
+            series([9, 1]),             # decliner
+            series([0, 9, 0]),          # spike
+            series([5]),                # single-report: excluded
+        ]
+
+    def test_distribution(self):
+        counts = trend_distribution(self._pool())
+        assert counts[Trend.FLAT] == 1
+        assert counts[Trend.GROWER] == 1
+        assert counts[Trend.DECLINER] == 1
+        assert counts[Trend.SPIKE] == 1
+        assert sum(counts.values()) == 4
+
+    def test_by_file_type(self):
+        pool = [series([1, 9], file_type="TXT"),
+                series([1, 1], file_type="PDF")]
+        grouped = trends_by_file_type(pool)
+        assert grouped["TXT"][Trend.GROWER] == 1
+        assert grouped["PDF"][Trend.FLAT] == 1
+
+    def test_dominant_dynamic(self):
+        counts = trend_distribution(
+            [series([1, 9]), series([2, 8]), series([9, 1])]
+        )
+        assert dominant_dynamic_trend(counts) is Trend.GROWER
+
+    def test_dominant_none_when_all_flat(self):
+        counts = trend_distribution([series([1, 1])])
+        assert dominant_dynamic_trend(counts) is None
+
+    def test_summary_fractions(self):
+        summary = summarize_trends(self._pool())
+        assert summary["flat"] == pytest.approx(0.25)
+        assert sum(summary.values()) == pytest.approx(1.0)
+
+    def test_empty_pool(self):
+        assert summarize_trends([]) == {}
+
+
+class TestOnExperiment:
+    def test_growers_dominate_dynamics(self, experiment):
+        """Engine latency is the main mechanism, so growers should be
+        the dominant dynamic shape in the simulated ecosystem."""
+        counts = trend_distribution(experiment.dataset_s)
+        assert counts[Trend.FLAT] == 0  # dataset S is dynamic-only
+        assert dominant_dynamic_trend(counts) is Trend.GROWER
+
+    def test_all_shapes_appear(self, experiment):
+        counts = trend_distribution(experiment.multi_report)
+        present = {trend for trend, n in counts.items() if n > 0}
+        assert Trend.FLAT in present
+        assert Trend.GROWER in present
+        assert len(present) >= 4
