@@ -1,0 +1,108 @@
+"""Store retrieval layer: streaming memory bound and cache behaviour.
+
+The write-aware retrieval rebuild replaced "materialise every report in
+one dict" grouping with a block-order streaming pass whose resident set
+is bounded by the samples *live* across the current block window.  This
+bench demonstrates the bound directly: a feed-ordered workload of waves
+of interleaved samples is streamed end to end, and the measured
+high-water mark of resident reports is checked against
+
+    live-window reports (wave size × scans each) + one block of records
+
+— a constant in store size — while the old approach held every report
+(`report_count`) at the yield point.  It also exercises the random-access
+path to report the bytes-bounded block cache's hit rate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.store.reportstore import ReportStore
+from repro.vt.reports import ScanReport, encode_labels
+from repro.vt.samples import sha256_of
+
+from conftest import run_once, say
+
+#: Workload shape: samples arrive in waves; scans of one wave interleave.
+N_SAMPLES = 5_000
+SCANS_EACH = 4
+WAVE = 50
+BLOCK_RECORDS = 256
+_N_ENGINES = 70
+
+
+def _report(sha: str, when: int, rank: int) -> ScanReport:
+    labels = [1] * rank + [0] * (_N_ENGINES - rank)
+    return ScanReport(
+        sha256=sha,
+        file_type="Win32 EXE",
+        scan_time=when,
+        positives=rank,
+        total=_N_ENGINES,
+        labels=encode_labels(labels),
+        versions=tuple([1] * _N_ENGINES),
+        first_submission_date=0,
+        last_submission_date=0,
+        last_analysis_date=when,
+        times_submitted=1,
+    )
+
+
+def _build_store() -> ReportStore:
+    store = ReportStore(block_records=BLOCK_RECORDS)
+    events = []
+    for i in range(N_SAMPLES):
+        sha = sha256_of(f"stream{i}")
+        wave_start = (i // WAVE) * (WAVE * SCANS_EACH)
+        for k in range(SCANS_EACH):
+            when = wave_start + k * WAVE + (i % WAVE)
+            events.append((when, sha))
+    events.sort()
+    for when, sha in events:
+        store.ingest(_report(sha, when, rank=(when % 30)))
+    store.close()
+    return store
+
+
+def test_streaming_memory_bound(benchmark):
+    store = _build_store()
+
+    def stream():
+        count = 0
+        for _, reports in store.iter_sample_reports():
+            count += len(reports)
+        return count
+
+    streamed = run_once(benchmark, stream)
+    stats = store.cache_stats()
+    total = store.report_count
+    bound = WAVE * SCANS_EACH + BLOCK_RECORDS
+
+    # Random access re-reads over a shuffled sample order, twice, to
+    # exercise the bytes-bounded LRU.
+    shas = [sha256_of(f"stream{i}") for i in range(N_SAMPLES)]
+    random.Random(7).shuffle(shas)
+    for sha in shas * 2:
+        store.reports_for(sha)
+    cache = store.cache_stats()
+
+    say()
+    say("Store streaming / cache bench "
+        f"(n={total:,} reports, {N_SAMPLES:,} samples, "
+        f"block={BLOCK_RECORDS}, wave={WAVE}x{SCANS_EACH})")
+    say(f"  peak resident reports : {stats.peak_stream_reports:7,} "
+        f"(bound {bound:,}; dict grouping held {total:,})")
+    say(f"  residency vs store    : {stats.peak_stream_reports / total:7.1%}")
+    say(f"  cache hit rate        : {cache.hit_rate:7.1%} "
+        f"({cache.hits:,} hits / {cache.lookups:,} lookups)")
+    say(f"  cache resident        : {cache.bytes_resident / 1e6:7.2f} MB "
+        f"of {cache.bytes_limit / 1e6:.0f} MB, "
+        f"{cache.evictions:,} evictions")
+
+    assert streamed == total
+    # The memory bound: block size x live samples per window, not store size.
+    assert stats.peak_stream_reports <= bound
+    assert stats.peak_stream_reports < total / 10
+    # The re-read pass must be mostly cache hits.
+    assert cache.hit_rate > 0.5

@@ -46,10 +46,18 @@ class ExperimentData:
         return self.fleet.names
 
     def series(self) -> list[AVRankSeries]:
-        """AV-Rank series for every sample (cached)."""
+        """AV-Rank series for every sample (cached).
+
+        Built from the store's streaming block-order pass, so the full
+        report set is never resident at once — only the compact series.
+        """
         if self._series is None:
             self._series = collect_series(self.store.iter_sample_reports())
         return self._series
+
+    def store_cache_stats(self):
+        """Retrieval-layer counters accumulated by the analyses so far."""
+        return self.store.cache_stats()
 
     @cached_property
     def dataset_s(self) -> list[AVRankSeries]:
@@ -74,7 +82,10 @@ def run_experiment(
         fleet = default_fleet(config.seed)
     service = VirusTotalService(fleet=fleet, params=config.behavior,
                                 seed=config.seed)
-    store = ReportStore(block_records=config.block_records)
+    store_kwargs = {"block_records": config.block_records}
+    if config.store_cache_bytes is not None:
+        store_kwargs["cache_bytes"] = config.store_cache_bytes
+    store = ReportStore(**store_kwargs)
     feed = PremiumFeed(service)
 
     # Generate the population and flatten its scans into global events.

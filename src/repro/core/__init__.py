@@ -55,7 +55,11 @@ from repro.core.aggregation import (
 from repro.core.causes import CauseBreakdown, attribute_causes
 from repro.core.recommend import recommend_threshold_ranges
 from repro.core.reliability import EngineScore, score_engines, select_trusted
-from repro.core.monitor import StabilityCriteria, StabilityMonitor
+from repro.core.monitor import (
+    LiveSampleMonitor,
+    StabilityCriteria,
+    StabilityMonitor,
+)
 
 __all__ = [
     "AVRankSeries",
@@ -88,6 +92,7 @@ __all__ = [
     "EngineScore",
     "score_engines",
     "select_trusted",
+    "LiveSampleMonitor",
     "StabilityCriteria",
     "StabilityMonitor",
 ]

@@ -9,6 +9,7 @@ record blocks (:mod:`repro.store.shard`), and :class:`ReportStore`
 Table 2 style accounting (:mod:`repro.store.stats`).
 """
 
+from repro.store.cache import BlockCache, CacheStats
 from repro.store.codec import (
     decode_report,
     encode_report,
@@ -22,6 +23,8 @@ __all__ = [
     "decode_report",
     "encode_report",
     "verbose_json_size",
+    "BlockCache",
+    "CacheStats",
     "ReportStore",
     "CompressedBlock",
     "MonthlyShard",

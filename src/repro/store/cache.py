@@ -1,0 +1,177 @@
+"""Write-aware, bytes-bounded caching for decompressed report blocks.
+
+The store's random-access path decompresses one block per index probe;
+re-decompressing a hot block on every :meth:`ReportStore.reports_for`
+call would dominate lookup cost, so decoded blocks are kept in a small
+LRU.  Two properties distinguish this cache from a generic memoiser:
+
+* **Write awareness.**  Only *frozen* blocks are cacheable.  A frozen
+  :class:`~repro.store.shard.CompressedBlock` is immutable — its records
+  never change for a given ``(month, block)`` key — so a cached entry can
+  never go stale.  The *open* (unsealed) buffer of a live shard must
+  never enter the cache: its contents grow with every ingest and it
+  eventually freezes into a real block under the same key.  The store
+  enforces this by routing open-block reads around the cache entirely;
+  the cache additionally provides :meth:`invalidate` /
+  :meth:`invalidate_month` / :meth:`clear` hooks so mutation paths can
+  drop entries explicitly.
+
+* **Bytes bounding.**  Eviction is by resident *decoded bytes*, not
+  entry count.  Blocks vary widely in decoded size (a 1-record tail
+  block vs. a 256-record run), so an entry-count cap gives no memory
+  guarantee; a byte cap does.
+
+Counters (hits, misses, evictions, invalidations, resident bytes) feed
+the store-level instrumentation in :class:`~repro.store.stats.StoreStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+#: Default cap on resident decoded block bytes (~32 MiB covers hundreds
+#: of 256-record blocks of ~420-byte records).
+DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Accounted per-record overhead beyond payload bytes (list slot plus
+#: bytes-object header, order-of-magnitude).
+_RECORD_OVERHEAD = 64
+
+BlockKey = tuple[int, int]  # (month, block index)
+
+
+def _cost(records: list[bytes]) -> int:
+    """Approximate resident size of one decoded block."""
+    return sum(len(r) for r in records) + _RECORD_OVERHEAD * len(records)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Retrieval-layer instrumentation snapshot.
+
+    ``hits``/``misses``/``evictions``/``invalidations`` count cache
+    events; ``blocks_decoded`` counts actual decompressions (cache
+    misses plus sequential-pass decodes); ``open_reads`` counts reads
+    served live from an unsealed buffer (never cached);
+    ``bytes_resident``/``entries`` describe current occupancy and
+    ``peak_stream_reports`` is the high-water mark of reports held
+    resident by a streaming :meth:`ReportStore.iter_sample_reports`
+    pass.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    blocks_decoded: int = 0
+    open_reads: int = 0
+    bytes_resident: int = 0
+    bytes_limit: int = DEFAULT_CACHE_BYTES
+    entries: int = 0
+    peak_stream_reports: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 on a cold cache)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class BlockCache:
+    """Bytes-bounded LRU over decoded record blocks."""
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[BlockKey, list[bytes]] = OrderedDict()
+        self._costs: dict[BlockKey, int] = {}
+        self._resident = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(self, key: BlockKey) -> list[bytes] | None:
+        """The cached records for ``key``, refreshing recency; None on miss."""
+        records = self._entries.get(key)
+        if records is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return records
+
+    def put(self, key: BlockKey, records: list[bytes]) -> None:
+        """Insert a decoded block, evicting LRU entries past the byte cap.
+
+        Blocks larger than the whole cache are not admitted (caching one
+        entry only to evict it on the next insert is pure churn).
+        """
+        if key in self._entries:
+            self._drop(key)
+        cost = _cost(records)
+        if cost > self.max_bytes:
+            return
+        self._entries[key] = records
+        self._costs[key] = cost
+        self._resident += cost
+        while self._resident > self.max_bytes and self._entries:
+            oldest, _ = self._entries.popitem(last=False)
+            self._resident -= self._costs.pop(oldest)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def _drop(self, key: BlockKey) -> None:
+        del self._entries[key]
+        self._resident -= self._costs.pop(key)
+
+    def invalidate(self, key: BlockKey) -> bool:
+        """Drop one entry; returns whether it was present."""
+        if key not in self._entries:
+            return False
+        self._drop(key)
+        self.invalidations += 1
+        return True
+
+    def invalidate_month(self, month: int) -> int:
+        """Drop every entry of one shard; returns the count dropped."""
+        doomed = [key for key in self._entries if key[0] == month]
+        for key in doomed:
+            self._drop(key)
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (counters survive)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+        self._costs.clear()
+        self._resident = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._entries
+
+    @property
+    def bytes_resident(self) -> int:
+        return self._resident

@@ -116,15 +116,20 @@ class ReportQuery:
         """Matching reports grouped per sample, time-sorted.
 
         Group membership is report-level: a sample appears with exactly
-        its matching reports (use :meth:`sample_hashes` +
-        ``store.reports_for`` for whole-sample retrieval instead).
+        its matching reports, and not at all if none match (use
+        :meth:`sample_hashes` + ``store.reports_for`` for whole-sample
+        retrieval instead).
+
+        Streams through the store's bounded block-order grouping rather
+        than materialising one dict of every matching report, so memory
+        is bounded by the samples live in the current block window (see
+        :meth:`ReportStore.iter_sample_reports`); samples arrive in
+        completion order.
         """
-        grouped: dict[str, list[ScanReport]] = {}
-        for report in self:
-            grouped.setdefault(report.sha256, []).append(report)
-        for sha256, reports in grouped.items():
-            reports.sort(key=lambda r: r.scan_time)
-            yield sha256, reports
+        for sha256, reports in self.store.iter_sample_reports():
+            matching = [r for r in reports if self._match(r)]
+            if matching:
+                yield sha256, matching
 
     def first(self) -> ScanReport | None:
         """The first matching report in store order, or None."""

@@ -14,18 +14,25 @@ The store can persist itself to a single file and reload it; the on-disk
 format is self-describing (JSON header + length-prefixed compressed
 blocks), and the per-sample index is rebuilt on load from cheap record
 peeks rather than stored redundantly.
+
+Retrieval is **write-aware and memory-bounded**: the decoded-block LRU
+(:mod:`repro.store.cache`) admits only immutable frozen blocks — reads
+that land in a shard's open buffer are served live and never cached, so
+interleaved ingest and query (the live-feed scenario of §4.1) can never
+observe a stale snapshot — and :meth:`iter_sample_reports` streams the
+store block by block instead of materialising every report at once.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from collections import OrderedDict
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.errors import CorruptRecordError, ShardClosedError, UnknownSampleError
 from repro.store import codec
+from repro.store.cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats
 from repro.store.shard import DEFAULT_BLOCK_RECORDS, CompressedBlock, MonthlyShard
 from repro.store.stats import StoreStats, compute_store_stats
 from repro.vt.clock import month_index
@@ -34,21 +41,25 @@ from repro.vt.reports import ScanReport
 _FILE_MAGIC = b"RPRSTORE"
 _FILE_VERSION = 1
 
-#: Decompressed-block cache entries kept for random access.
-_BLOCK_CACHE_SIZE = 64
-
 Address = tuple[int, int, int]  # (month, block, slot)
 
 
 class ReportStore:
     """Sharded, compressed, indexed storage for scan reports."""
 
-    def __init__(self, block_records: int = DEFAULT_BLOCK_RECORDS) -> None:
+    def __init__(
+        self,
+        block_records: int = DEFAULT_BLOCK_RECORDS,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> None:
         self.block_records = block_records
         self.shards: dict[int, MonthlyShard] = {}
         self._index: dict[str, list[Address]] = {}
         self._sample_meta: dict[str, tuple[str, bool]] = {}
-        self._block_cache: OrderedDict[tuple[int, int], list[bytes]] = OrderedDict()
+        self._cache = BlockCache(max_bytes=cache_bytes)
+        self._blocks_decoded = 0
+        self._open_reads = 0
+        self._peak_stream_reports = 0
         self.closed = False
 
     # ------------------------------------------------------------------
@@ -66,6 +77,10 @@ class ReportStore:
             self.shards[month] = shard
         record = codec.encode_report(report)
         block, slot = shard.append(record, codec.verbose_json_size(report))
+        # The open buffer is never cached, so this is a no-op today; it
+        # pins the invalidation contract (any mutation of block `block`
+        # must drop a cached decode of it) independent of cache policy.
+        self._cache.invalidate((month, block))
         self._index.setdefault(report.sha256, []).append((month, block, slot))
         if report.sha256 not in self._sample_meta:
             self._sample_meta[report.sha256] = (
@@ -81,9 +96,21 @@ class ReportStore:
             count += 1
         return count
 
+    def flush(self) -> None:
+        """Freeze every shard's open buffer into a compressed block.
+
+        Useful on a live store to bound the raw-buffer footprint between
+        ingest bursts; block addresses are unaffected (a buffer freezes
+        into exactly the block index its records were assigned).
+        """
+        for shard in self.shards.values():
+            self._cache.invalidate((shard.month, len(shard.blocks)))
+            shard.flush()
+
     def close(self) -> None:
         """Flush and seal every shard; further ingests raise."""
         for shard in self.shards.values():
+            self._cache.invalidate((shard.month, len(shard.blocks)))
             shard.close()
         self.closed = True
 
@@ -137,19 +164,34 @@ class ReportStore:
             raise UnknownSampleError(sha256) from None
 
     def _block(self, month: int, block_idx: int) -> list[bytes]:
+        """Decoded records of one block, write-aware.
+
+        Frozen blocks are immutable, so their decodes are cached in the
+        bytes-bounded LRU.  An index at or past ``len(shard.blocks)``
+        addresses the *open* buffer of a live shard: that read is served
+        straight from the shard (a live view, not a snapshot) and is
+        never cached — caching it was the stale-read bug this layer
+        exists to prevent.
+        """
+        shard = self.shards[month]
+        if block_idx >= len(shard.blocks):
+            self._open_reads += 1
+            return shard.block_records_at(block_idx)
         key = (month, block_idx)
-        cached = self._block_cache.get(key)
-        if cached is not None:
-            self._block_cache.move_to_end(key)
-            return cached
-        records = self.shards[month].block_records_at(block_idx)
-        self._block_cache[key] = records
-        if len(self._block_cache) > _BLOCK_CACHE_SIZE:
-            self._block_cache.popitem(last=False)
+        records = self._cache.get(key)
+        if records is None:
+            records = shard.blocks[block_idx].records()
+            self._blocks_decoded += 1
+            self._cache.put(key, records)
         return records
 
     def reports_for(self, sha256: str) -> list[ScanReport]:
-        """All reports of one sample, sorted by scan time."""
+        """All reports of one sample, sorted by scan time.
+
+        Safe to interleave with :meth:`ingest`: reports still in an open
+        buffer are read live, and frozen-block cache entries can never go
+        stale (frozen blocks are immutable).
+        """
         try:
             addresses = self._index[sha256]
         except KeyError:
@@ -164,28 +206,83 @@ class ReportStore:
     def iter_reports(self) -> Iterator[ScanReport]:
         """All reports, month by month in ingest order."""
         for month in sorted(self.shards):
-            for record in self.shards[month].iter_records():
-                yield codec.decode_report(record)
+            for _, records in self.shards[month].iter_record_blocks():
+                self._blocks_decoded += 1
+                for record in records:
+                    yield codec.decode_report(record)
 
     def iter_sample_reports(self) -> Iterator[tuple[str, list[ScanReport]]]:
-        """``(sha256, time-sorted reports)`` for every sample.
+        """``(sha256, time-sorted reports)`` for every sample, streaming.
 
-        Implemented as one sequential pass plus grouping, which is much
-        faster than per-sample random access when visiting everything.
+        One sequential pass in block order, decoding each block exactly
+        once.  A sample's group is yielded (and its memory released) as
+        soon as the pass crosses the last block that contains one of its
+        reports, so peak resident reports are bounded by the samples
+        *live* across the current block window — not by store size.
+        Samples therefore arrive in completion order (order of their
+        last report), not first-ingest order.
         """
-        grouped: dict[str, list[ScanReport]] = {}
-        for report in self.iter_reports():
-            grouped.setdefault(report.sha256, []).append(report)
-        for sha256, reports in grouped.items():
-            reports.sort(key=lambda r: r.scan_time)
-            yield sha256, reports
+        # Last (month, block) each sample appears in → who completes where.
+        completions: dict[tuple[int, int], list[str]] = {}
+        for sha256, addresses in self._index.items():
+            last = max((month, block) for month, block, _ in addresses)
+            completions.setdefault(last, []).append(sha256)
+
+        pending: dict[str, list[ScanReport]] = {}
+        resident = 0
+        for month in sorted(self.shards):
+            for block_idx, records in self.shards[month].iter_record_blocks():
+                self._blocks_decoded += 1
+                for record in records:
+                    report = codec.decode_report(record)
+                    pending.setdefault(report.sha256, []).append(report)
+                resident += len(records)
+                self._peak_stream_reports = max(
+                    self._peak_stream_reports, resident
+                )
+                for sha256 in completions.pop((month, block_idx), ()):
+                    reports = pending.pop(sha256)
+                    resident -= len(reports)
+                    reports.sort(key=lambda r: r.scan_time)
+                    yield sha256, reports
+
+    # ------------------------------------------------------------------
+    # Cache control / instrumentation
+    # ------------------------------------------------------------------
+
+    def drop_caches(self) -> None:
+        """Release all cached block decodes (event counters survive)."""
+        self._cache.clear()
+
+    def cache_stats(self) -> CacheStats:
+        """Retrieval-layer counters: cache traffic, decodes, residency."""
+        return CacheStats(
+            hits=self._cache.hits,
+            misses=self._cache.misses,
+            evictions=self._cache.evictions,
+            invalidations=self._cache.invalidations,
+            blocks_decoded=self._blocks_decoded,
+            open_reads=self._open_reads,
+            bytes_resident=self._cache.bytes_resident,
+            bytes_limit=self._cache.max_bytes,
+            entries=len(self._cache),
+            peak_stream_reports=self._peak_stream_reports,
+        )
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the store to a single self-describing file."""
+        """Write the store to a single self-describing file.
+
+        Non-mutating: saving a live (unclosed) store is a pure snapshot.
+        Records still in a shard's open buffer are compressed into a tail
+        block *in the file only* — the in-memory shard keeps its buffer,
+        block layout and addresses untouched, and ingest can continue
+        afterwards.  (An earlier revision flushed each shard mid-save,
+        silently changing the block layout of a live store.)
+        """
         path = Path(path)
         header = {
             "version": _FILE_VERSION,
@@ -199,11 +296,14 @@ class ReportStore:
             fh.write(header_bytes)
             for month in sorted(self.shards):
                 shard = self.shards[month]
-                shard.flush()
-                fh.write(struct.pack("<iIqqq", month, len(shard.blocks),
+                blocks = list(shard.blocks)
+                buffered = shard.buffered_records()
+                if buffered:
+                    blocks.append(CompressedBlock.from_records(buffered))
+                fh.write(struct.pack("<iIqqq", month, len(blocks),
                                      shard.report_count, shard.verbose_bytes,
                                      shard.encoded_bytes))
-                for block in shard.blocks:
+                for block in blocks:
                     fh.write(struct.pack("<IIq", len(block.payload),
                                          block.record_count, block.raw_bytes))
                     fh.write(block.payload)

@@ -69,6 +69,10 @@ class MonthlyShard:
     verbose_bytes: int = 0
     #: Encoded (pre-compression) bytes of everything ingested.
     encoded_bytes: int = 0
+    #: Mutation counter: bumped on every append and every flush.  Readers
+    #: holding derived state (e.g. a snapshot of the open buffer) can
+    #: stamp it with the generation and detect staleness.
+    generation: int = 0
 
     def append(self, record: bytes, verbose_size: int) -> tuple[int, int]:
         """Add one encoded record; returns its ``(block, slot)`` address.
@@ -84,6 +88,7 @@ class MonthlyShard:
         self.report_count += 1
         self.verbose_bytes += verbose_size
         self.encoded_bytes += len(record)
+        self.generation += 1
         if len(self._buffer) >= self.block_records:
             self.flush()
         return block_idx, slot
@@ -93,6 +98,7 @@ class MonthlyShard:
         if self._buffer:
             self.blocks.append(CompressedBlock.from_records(self._buffer))
             self._buffer = []
+            self.generation += 1
 
     def close(self) -> None:
         """Flush and seal the shard."""
@@ -101,9 +107,34 @@ class MonthlyShard:
 
     @property
     def compressed_bytes(self) -> int:
-        """Compressed size of all frozen blocks plus the open buffer."""
-        frozen = sum(b.compressed_bytes for b in self.blocks)
-        return frozen + sum(len(r) for r in self._buffer)
+        """Compressed size of the frozen blocks — and only those.
+
+        Records still sitting in the open buffer are *uncompressed*;
+        counting them here (as an earlier revision did) inflated the
+        "compressed" size of any unflushed shard with raw record bytes
+        and skewed the Table 2 compression-rate accounting.  They are
+        reported separately as :attr:`buffered_bytes`.
+        """
+        return sum(b.compressed_bytes for b in self.blocks)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Raw encoded bytes waiting in the open (unsealed) buffer."""
+        return sum(len(r) for r in self._buffer)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Actual resident payload: compressed blocks + raw buffer."""
+        return self.compressed_bytes + self.buffered_bytes
+
+    @property
+    def open_record_count(self) -> int:
+        """Records in the open buffer (0 once flushed or closed)."""
+        return len(self._buffer)
+
+    def buffered_records(self) -> list[bytes]:
+        """A snapshot copy of the open buffer (safe across later appends)."""
+        return list(self._buffer)
 
     def record_at(self, block_idx: int, slot: int) -> bytes:
         """Random access to one record by block address."""
@@ -126,3 +157,15 @@ class MonthlyShard:
         for block in self.blocks:
             yield from block.records()
         yield from self._buffer
+
+    def iter_record_blocks(self) -> Iterator[tuple[int, list[bytes]]]:
+        """``(block_idx, records)`` in order, decoding each block once.
+
+        The open buffer, if any, is yielded last as a snapshot under the
+        block index it will freeze into — the same index its records'
+        addresses already carry.
+        """
+        for block_idx, block in enumerate(self.blocks):
+            yield block_idx, block.records()
+        if self._buffer:
+            yield len(self.blocks), list(self._buffer)

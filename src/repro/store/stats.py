@@ -8,8 +8,9 @@ their raw size, plus dataset totals and the achieved compression rate
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.store.cache import CacheStats
 from repro.vt.clock import COLLECTION_MONTHS, month_label
 
 
@@ -22,6 +23,11 @@ class MonthStats:
     report_count: int
     verbose_bytes: int
     compressed_bytes: int
+    #: Raw (uncompressed) bytes still in the shard's open buffer.  Zero
+    #: once the shard is flushed or closed; kept separate from
+    #: ``compressed_bytes`` so the compression accounting never mixes
+    #: compressed and raw units.
+    buffered_bytes: int = 0
 
     @property
     def verbose_gb(self) -> float:
@@ -30,6 +36,11 @@ class MonthStats:
     @property
     def compressed_gb(self) -> float:
         return self.compressed_bytes / 1e9
+
+    @property
+    def stored_bytes(self) -> int:
+        """Actual resident payload: compressed blocks + raw buffer."""
+        return self.compressed_bytes + self.buffered_bytes
 
 
 @dataclass(frozen=True)
@@ -42,13 +53,26 @@ class StoreStats:
     fresh_samples: int
     verbose_bytes: int
     compressed_bytes: int
+    buffered_bytes: int = 0
+    #: Retrieval-layer counters (cache traffic, decodes, residency).
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.compressed_bytes + self.buffered_bytes
 
     @property
     def compression_rate(self) -> float:
-        """Verbose-JSON bytes over stored compressed bytes (paper: 10.06)."""
-        if self.compressed_bytes == 0:
+        """Verbose-JSON bytes over actually stored bytes (paper: 10.06).
+
+        For a flushed/closed store this is verbose over compressed; on a
+        live store, open-buffer records are counted at their raw size —
+        they really are stored uncompressed — rather than being passed
+        off as compressed bytes.
+        """
+        if self.stored_bytes == 0:
             return 0.0
-        return self.verbose_bytes / self.compressed_bytes
+        return self.verbose_bytes / self.stored_bytes
 
     @property
     def fresh_fraction(self) -> float:
@@ -68,11 +92,13 @@ def compute_store_stats(store) -> StoreStats:
     total_reports = 0
     verbose = 0
     compressed = 0
+    buffered = 0
     for month in range(COLLECTION_MONTHS):
         shard = store.shards.get(month)
         if shard is None:
             months.append(MonthStats(month, month_label(month), 0, 0, 0))
             continue
+        shard_buffered = getattr(shard, "buffered_bytes", 0)
         months.append(
             MonthStats(
                 month=month,
@@ -80,11 +106,14 @@ def compute_store_stats(store) -> StoreStats:
                 report_count=shard.report_count,
                 verbose_bytes=shard.verbose_bytes,
                 compressed_bytes=shard.compressed_bytes,
+                buffered_bytes=shard_buffered,
             )
         )
         total_reports += shard.report_count
         verbose += shard.verbose_bytes
         compressed += shard.compressed_bytes
+        buffered += shard_buffered
+    cache_stats = getattr(store, "cache_stats", None)
     return StoreStats(
         months=tuple(months),
         total_reports=total_reports,
@@ -92,4 +121,6 @@ def compute_store_stats(store) -> StoreStats:
         fresh_samples=store.fresh_sample_count,
         verbose_bytes=verbose,
         compressed_bytes=compressed,
+        buffered_bytes=buffered,
+        cache=cache_stats() if callable(cache_stats) else CacheStats(),
     )

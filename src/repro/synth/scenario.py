@@ -64,6 +64,9 @@ class ScenarioConfig:
     behavior: BehaviorParams = field(default_factory=BehaviorParams)
     #: Report-store block size.
     block_records: int = 256
+    #: Report-store decoded-block cache budget in bytes (None = the
+    #: store's default).
+    store_cache_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_samples <= 0:
@@ -80,6 +83,8 @@ class ScenarioConfig:
                     raise ConfigError(f"unknown file type in scenario: {name!r}")
         if self.interval_sigma <= 0:
             raise ConfigError("interval_sigma must be positive")
+        if self.store_cache_bytes is not None and self.store_cache_bytes < 0:
+            raise ConfigError("store_cache_bytes must be >= 0")
 
     def with_(self, **overrides) -> "ScenarioConfig":
         """A copy with the given fields replaced."""

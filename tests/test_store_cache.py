@@ -1,0 +1,118 @@
+"""Unit tests for the bytes-bounded block cache (repro.store.cache)."""
+
+import pytest
+
+from repro.store.cache import _RECORD_OVERHEAD, BlockCache, CacheStats
+
+
+def _block(n_records: int, record_size: int = 100) -> list[bytes]:
+    return [bytes(record_size) for _ in range(n_records)]
+
+
+def _cost(n_records: int, record_size: int = 100) -> int:
+    return n_records * (record_size + _RECORD_OVERHEAD)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = BlockCache(max_bytes=10_000)
+        assert cache.get((0, 0)) is None
+        cache.put((0, 0), _block(2))
+        assert cache.get((0, 0)) == _block(2)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_contains_and_len(self):
+        cache = BlockCache(max_bytes=10_000)
+        cache.put((0, 0), _block(1))
+        cache.put((3, 7), _block(1))
+        assert (0, 0) in cache
+        assert (1, 0) not in cache
+        assert len(cache) == 2
+
+
+class TestByteBounding:
+    def test_eviction_is_by_bytes_not_entries(self):
+        # Cap fits exactly two 2-record blocks; a third insert evicts
+        # the least recently used one.
+        cache = BlockCache(max_bytes=2 * _cost(2))
+        cache.put((0, 0), _block(2))
+        cache.put((0, 1), _block(2))
+        cache.put((0, 2), _block(2))
+        assert cache.evictions == 1
+        assert (0, 0) not in cache
+        assert (0, 1) in cache and (0, 2) in cache
+        assert cache.bytes_resident <= cache.max_bytes
+
+    def test_one_large_block_evicts_many_small(self):
+        cache = BlockCache(max_bytes=_cost(8))
+        for idx in range(4):
+            cache.put((0, idx), _block(2))
+        cache.put((0, 99), _block(6))
+        assert (0, 99) in cache
+        assert cache.bytes_resident <= cache.max_bytes
+        assert cache.evictions >= 3
+
+    def test_get_refreshes_recency(self):
+        cache = BlockCache(max_bytes=2 * _cost(2))
+        cache.put((0, 0), _block(2))
+        cache.put((0, 1), _block(2))
+        cache.get((0, 0))  # now (0, 1) is the LRU entry
+        cache.put((0, 2), _block(2))
+        assert (0, 0) in cache
+        assert (0, 1) not in cache
+
+    def test_oversized_block_not_admitted(self):
+        cache = BlockCache(max_bytes=_cost(1))
+        cache.put((0, 0), _block(5))
+        assert len(cache) == 0
+        assert cache.bytes_resident == 0
+
+    def test_reput_replaces_without_double_counting(self):
+        cache = BlockCache(max_bytes=10_000)
+        cache.put((0, 0), _block(2))
+        cache.put((0, 0), _block(3))
+        assert cache.bytes_resident == _cost(3)
+        assert len(cache) == 1
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(max_bytes=-1)
+
+
+class TestInvalidation:
+    def test_invalidate_one(self):
+        cache = BlockCache(max_bytes=10_000)
+        cache.put((0, 0), _block(1))
+        assert cache.invalidate((0, 0))
+        assert not cache.invalidate((0, 0))  # already gone
+        assert cache.invalidations == 1
+        assert cache.bytes_resident == 0
+
+    def test_invalidate_month(self):
+        cache = BlockCache(max_bytes=10_000)
+        cache.put((0, 0), _block(1))
+        cache.put((0, 1), _block(1))
+        cache.put((5, 0), _block(1))
+        assert cache.invalidate_month(0) == 2
+        assert (5, 0) in cache
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = BlockCache(max_bytes=10_000)
+        cache.put((0, 0), _block(1))
+        cache.get((0, 0))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.bytes_resident == 0
+        assert cache.hits == 1  # counters survive
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_cold_cache_hit_rate_is_zero(self):
+        assert CacheStats().hit_rate == 0.0

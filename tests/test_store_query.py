@@ -103,6 +103,77 @@ class TestProjections:
         assert first.file_type == "TXT"
 
 
+class TestSampleSeries:
+    """sample_series membership/ordering over a mixed fresh/pre-window store."""
+
+    @pytest.fixture()
+    def mixed_store(self):
+        store = ReportStore(block_records=2)
+        # Fresh sample, 3 reports out of time order across blocks.
+        for day, ranks in [(30, [1, 1, 0, 0, 0]),
+                           (5, [1, 0, 0, 0, 0]),
+                           (90, [1, 1, 1, 1, 0])]:
+            store.ingest(make_report(sha=make_sha("fresh"),
+                                     scan_time=day * MINUTES_PER_DAY,
+                                     labels=ranks, first_submission=0))
+        # Pre-window sample (first submitted before the window), 2 reports.
+        for day in (10, 40):
+            store.ingest(make_report(sha=make_sha("old"),
+                                     scan_time=day * MINUTES_PER_DAY,
+                                     labels=[1, 1, 0, 0, 0],
+                                     first_submission=-7))
+        # Fresh sample whose only report is low-rank.
+        store.ingest(make_report(sha=make_sha("quiet"),
+                                 scan_time=50 * MINUTES_PER_DAY,
+                                 labels=[0, 0, 0, 0, 0], first_submission=3))
+        return store
+
+    def test_unfiltered_groups_every_sample(self, mixed_store):
+        series = dict(ReportQuery(mixed_store).sample_series())
+        assert set(series) == {make_sha("fresh"), make_sha("old"),
+                               make_sha("quiet")}
+        assert [len(r) for r in (series[make_sha("fresh")],
+                                 series[make_sha("old")],
+                                 series[make_sha("quiet")])] == [3, 2, 1]
+
+    def test_groups_are_time_sorted(self, mixed_store):
+        for _, reports in ReportQuery(mixed_store).sample_series():
+            times = [r.scan_time for r in reports]
+            assert times == sorted(times)
+
+    def test_fresh_only_drops_pre_window_samples(self, mixed_store):
+        series = dict(ReportQuery(mixed_store).fresh_only().sample_series())
+        assert make_sha("old") not in series
+        assert set(series) == {make_sha("fresh"), make_sha("quiet")}
+        assert len(series[make_sha("fresh")]) == 3
+
+    def test_membership_is_report_level(self, mixed_store):
+        # min_positives(2) keeps only 2 of fresh's 3 reports, drops the
+        # rest of the store entirely — samples with no match don't appear.
+        series = dict(ReportQuery(mixed_store)
+                      .min_positives(2).sample_series())
+        assert set(series) == {make_sha("fresh"), make_sha("old")}
+        assert [r.positives for r in series[make_sha("fresh")]] == [2, 4]
+        assert [r.positives for r in series[make_sha("old")]] == [2, 2]
+
+    def test_fresh_only_composes_with_rank_filter(self, mixed_store):
+        series = dict(ReportQuery(mixed_store)
+                      .fresh_only().min_positives(2).sample_series())
+        assert set(series) == {make_sha("fresh")}
+
+    def test_series_on_live_store_after_interleaved_ingest(self, mixed_store):
+        # Reading mid-ingest then ingesting more must not corrupt grouping
+        # (regression guard for the stale block-cache bug).
+        first = dict(ReportQuery(mixed_store).sample_series())
+        assert len(first[make_sha("fresh")]) == 3
+        mixed_store.ingest(make_report(sha=make_sha("fresh"),
+                                       scan_time=120 * MINUTES_PER_DAY,
+                                       labels=[1, 1, 1, 1, 1],
+                                       first_submission=0))
+        again = dict(ReportQuery(mixed_store).sample_series())
+        assert len(again[make_sha("fresh")]) == 4
+
+
 class TestOnExperiment:
     def test_query_consistent_with_store(self, experiment):
         total = ReportQuery(experiment.store).count()

@@ -116,6 +116,151 @@ class TestRetrieval:
             assert store.reports_for(make_sha("s3")) == first
 
 
+class TestInterleavedIngestRead:
+    """Regression: the block cache used to snapshot the open buffer.
+
+    Any read followed by more ingests into the same month then served
+    stale data — an IndexError once the index pointed past the snapshot,
+    or silently dropped reports once the buffer froze into a real block
+    under the same cache key.
+    """
+
+    def test_read_ingest_read_same_month(self, store):
+        sha = make_sha("victim")
+        times = list(range(1000, 1009))
+        for t in times[:5]:  # past one block boundary: block 0 + open buffer
+            store.ingest(make_report(sha=sha, scan_time=t))
+        assert [r.scan_time for r in store.reports_for(sha)] == times[:5]
+        for t in times[5:]:  # freezes block 1 under the cached key
+            store.ingest(make_report(sha=sha, scan_time=t))
+        assert [r.scan_time for r in store.reports_for(sha)] == times
+
+    def test_read_survives_flush_and_close(self, store):
+        sha = make_sha("victim")
+        times = list(range(2000, 2009))
+        for t in times[:5]:
+            store.ingest(make_report(sha=sha, scan_time=t))
+        before = store.reports_for(sha)
+        assert len(before) == 5
+        for t in times[5:]:
+            store.ingest(make_report(sha=sha, scan_time=t))
+        store.flush()
+        assert [r.scan_time for r in store.reports_for(sha)] == times
+        store.close()
+        assert [r.scan_time for r in store.reports_for(sha)] == times
+
+    def test_open_buffer_reads_are_live_not_snapshots(self, store):
+        sha_a, sha_b = make_sha("a"), make_sha("b")
+        store.ingest(make_report(sha=sha_a, scan_time=100))
+        # This read touches the open buffer; it must not pin a snapshot.
+        assert len(store.reports_for(sha_a)) == 1
+        store.ingest(make_report(sha=sha_b, scan_time=101))
+        assert len(store.reports_for(sha_b)) == 1
+        assert store.cache_stats().open_reads >= 2
+
+    def test_interleaved_streaming_grouping(self, store):
+        shas = [make_sha(f"x{i}") for i in range(3)]
+        for t in range(12):
+            store.ingest(make_report(sha=shas[t % 3], scan_time=1000 + t))
+        grouped = dict(store.iter_sample_reports())
+        assert {s: len(r) for s, r in grouped.items()} == {s: 4 for s in shas}
+        store.ingest(make_report(sha=shas[0], scan_time=2000))
+        grouped = dict(store.iter_sample_reports())
+        assert len(grouped[shas[0]]) == 5
+
+
+class TestStreaming:
+    def test_groups_complete_and_time_sorted(self, store):
+        _fill(store, n_samples=5, scans_each=3)
+        store.close()
+        grouped = dict(store.iter_sample_reports())
+        assert set(grouped) == {make_sha(f"s{i}") for i in range(5)}
+        for reports in grouped.values():
+            times = [r.scan_time for r in reports]
+            assert times == sorted(times)
+
+    def test_matches_random_access(self, store):
+        _fill(store, n_samples=8, scans_each=3)
+        store.close()
+        for sha, reports in store.iter_sample_reports():
+            assert reports == store.reports_for(sha)
+
+    def test_peak_resident_bounded_by_live_window(self):
+        # Samples with contiguous reports complete block by block, so the
+        # pass never holds more than ~one block's worth of reports — far
+        # below the store total.
+        store = ReportStore(block_records=8)
+        n_samples, scans_each = 100, 4
+        for i in range(n_samples):
+            sha = make_sha(f"seq{i}")
+            for k in range(scans_each):
+                store.ingest(make_report(
+                    sha=sha, scan_time=1000 + i * scans_each + k))
+        store.close()
+        for _ in store.iter_sample_reports():
+            pass
+        peak = store.cache_stats().peak_stream_reports
+        total = n_samples * scans_each
+        assert peak <= 2 * 8  # ≤ two block windows of live samples
+        assert peak < total / 10
+
+    def test_decodes_each_block_once(self, store):
+        _fill(store, n_samples=6, scans_each=2)
+        store.close()
+        n_blocks = sum(len(s.blocks) for s in store.shards.values())
+        before = store.cache_stats().blocks_decoded
+        list(store.iter_sample_reports())
+        assert store.cache_stats().blocks_decoded - before == n_blocks
+
+
+class TestCacheInstrumentation:
+    def test_counters_via_store_stats(self, store):
+        _fill(store, n_samples=6, scans_each=2)
+        store.close()
+        store.reports_for(make_sha("s1"))
+        store.reports_for(make_sha("s1"))
+        cache = store.stats().cache
+        assert cache.hits > 0
+        assert cache.misses > 0
+        assert cache.blocks_decoded > 0
+        assert cache.bytes_resident > 0
+        assert cache.entries > 0
+        assert 0.0 < cache.hit_rate <= 1.0
+
+    def test_bytes_bounded_eviction(self):
+        # A tiny budget forces evictions while results stay correct.
+        store = ReportStore(block_records=2, cache_bytes=1200)
+        shas = [make_sha(f"e{i}") for i in range(12)]
+        for t, sha in enumerate(shas):
+            store.ingest(make_report(sha=sha, scan_time=1000 + t))
+        store.close()
+        for sha in shas:
+            assert len(store.reports_for(sha)) == 1
+        cache = store.cache_stats()
+        assert cache.evictions > 0
+        assert cache.bytes_resident <= cache.bytes_limit
+
+    def test_drop_caches(self, store):
+        _fill(store)
+        store.close()
+        store.reports_for(make_sha("s0"))
+        assert store.cache_stats().entries > 0
+        store.drop_caches()
+        after = store.cache_stats()
+        assert after.entries == 0
+        assert after.bytes_resident == 0
+        assert after.misses > 0  # counters survive
+
+    def test_open_buffer_never_cached(self, store):
+        sha = make_sha("live")
+        store.ingest(make_report(sha=sha, scan_time=1000))
+        for _ in range(5):
+            store.reports_for(sha)
+        cache = store.cache_stats()
+        assert cache.entries == 0
+        assert cache.open_reads == 5
+
+
 class TestStats:
     def test_table2_months(self, store):
         _fill(store)
@@ -178,3 +323,36 @@ class TestPersistence:
         reloaded = loaded.stats()
         assert reloaded.total_reports == original.total_reports
         assert reloaded.verbose_bytes == original.verbose_bytes
+
+    def test_save_on_open_store_is_non_mutating(self, store, tmp_path):
+        # Saving a live store must not flush its buffers: block layout,
+        # buffered records and ingestability are all preserved.
+        _fill(store, n_samples=3, scans_each=3)  # block_records=4: open buffers
+        layout_before = {m: (len(s.blocks), s.open_record_count)
+                         for m, s in store.shards.items()}
+        assert any(open_count for _, open_count in layout_before.values())
+        store.save(tmp_path / "live.store")
+        layout_after = {m: (len(s.blocks), s.open_record_count)
+                        for m, s in store.shards.items()}
+        assert layout_after == layout_before
+        assert not store.closed
+        store.ingest(make_report(sha=make_sha("s0"), scan_time=_month_time(0)))
+
+    def test_save_before_close_round_trips(self, store, tmp_path):
+        ingested = _fill(store, n_samples=5, scans_each=2)
+        path = tmp_path / "open.store"
+        store.save(path)  # store still open — buffers serialised as a snapshot
+        loaded = ReportStore.load(path)
+        assert loaded.report_count == len(ingested)
+        for i in range(5):
+            sha = make_sha(f"s{i}")
+            assert loaded.reports_for(sha) == store.reports_for(sha)
+
+    def test_live_store_usable_after_save(self, store, tmp_path):
+        sha = make_sha("s0")
+        _fill(store, n_samples=2, scans_each=2)
+        store.save(tmp_path / "snap.store")
+        store.ingest(make_report(sha=sha, scan_time=_month_time(0, offset=9999)))
+        reports = store.reports_for(sha)
+        assert len(reports) == 3
+        assert _month_time(0, offset=9999) in [r.scan_time for r in reports]

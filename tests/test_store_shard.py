@@ -83,7 +83,41 @@ class TestMonthlyShard:
         assert shard.encoded_bytes == sum(len(r) for r in _records(4))
         assert shard.compressed_bytes > 0
 
-    def test_compressed_bytes_includes_open_buffer(self):
+    def test_open_buffer_counted_as_buffered_not_compressed(self):
+        # Regression: the open buffer's raw record bytes used to be
+        # reported as "compressed" size, skewing Table 2 ratios.
         shard = MonthlyShard(month=0, block_records=100)
         shard.append(b"z" * 50, 10)
-        assert shard.compressed_bytes == 50  # uncompressed buffer counted
+        assert shard.compressed_bytes == 0
+        assert shard.buffered_bytes == 50
+        assert shard.stored_bytes == 50
+        shard.flush()
+        assert shard.buffered_bytes == 0
+        assert shard.compressed_bytes > 0
+        assert shard.stored_bytes == shard.compressed_bytes
+
+    def test_generation_bumps_on_append_and_flush(self):
+        shard = MonthlyShard(month=0, block_records=100)
+        assert shard.generation == 0
+        shard.append(b"a", 1)
+        shard.append(b"b", 1)
+        assert shard.generation == 2
+        shard.flush()
+        assert shard.generation == 3
+        shard.flush()  # empty buffer: no mutation
+        assert shard.generation == 3
+
+    def test_buffered_records_is_a_snapshot(self):
+        shard = MonthlyShard(month=0, block_records=100)
+        shard.append(b"a", 1)
+        snapshot = shard.buffered_records()
+        shard.append(b"b", 1)
+        assert snapshot == [b"a"]
+        assert shard.buffered_records() == [b"a", b"b"]
+
+    def test_iter_record_blocks_covers_frozen_and_open(self):
+        shard = MonthlyShard(month=0, block_records=2)
+        for r in (b"r0", b"r1", b"r2"):
+            shard.append(r, 1)
+        blocks = list(shard.iter_record_blocks())
+        assert blocks == [(0, [b"r0", b"r1"]), (1, [b"r2"])]
