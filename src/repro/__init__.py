@@ -21,6 +21,7 @@ Quickstart::
 
 from repro._version import __version__
 from repro.analysis.experiment import ExperimentData, run_experiment
+from repro.collect import FeedCollector, run_collection
 from repro.core.avrank import AVRankSeries, collect_series, split_stable_dynamic
 from repro.core.aggregation import (
     PercentageAggregator,
@@ -34,8 +35,10 @@ from repro.core.flips import analyze_flips
 from repro.core.monitor import StabilityCriteria, StabilityMonitor
 from repro.core.stabilization import avrank_stabilization, label_stabilization
 from repro.store.reportstore import ReportStore
+from repro.faults import FaultPlan, standard_chaos_plan
 from repro.synth.scenario import (
     ScenarioConfig,
+    chaos_scenario,
     dynamics_scenario,
     paper_scenario,
     tiny_scenario,
@@ -49,6 +52,10 @@ __all__ = [
     "__version__",
     "ExperimentData",
     "run_experiment",
+    "FeedCollector",
+    "run_collection",
+    "FaultPlan",
+    "standard_chaos_plan",
     "AVRankSeries",
     "collect_series",
     "split_stable_dynamic",
@@ -66,6 +73,7 @@ __all__ = [
     "label_stabilization",
     "ReportStore",
     "ScenarioConfig",
+    "chaos_scenario",
     "dynamics_scenario",
     "paper_scenario",
     "tiny_scenario",

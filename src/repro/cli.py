@@ -3,6 +3,9 @@
 Subcommands mirror the reproduction workflow:
 
 * ``generate`` — run a scenario and save the report store to disk;
+* ``collect`` — run the resilient minute-by-minute collection pipeline
+  (optionally under the standard chaos fault plan) into a working
+  directory with checkpoint/store/dead-letter files;
 * ``overview`` — Tables 2-3 and Figure 1 from a saved (or fresh) store;
 * ``dynamics`` — Figures 2-8;
 * ``stabilization`` — Figure 9 and Observation 8;
@@ -48,6 +51,26 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     gen = sub.add_parser("generate", help="generate and save a store")
     gen.add_argument("output", help="path for the saved store")
+    collect = sub.add_parser(
+        "collect",
+        help="run the resilient collection pipeline into a directory")
+    collect.add_argument("outdir",
+                         help="working directory (store, checkpoint, "
+                              "dead letters)")
+    collect.add_argument("--chaos", action="store_true",
+                         help="inject the standard fault plan "
+                              "(outage, transients, duplicates, corruption)")
+    collect.add_argument("--resume", action="store_true",
+                         help="resume a crashed run from its checkpoint")
+    collect.add_argument("--until-days", type=float, default=None,
+                         help="truncate the simulation horizon (days)")
+    collect.add_argument("--crash-at-days", type=float, default=None,
+                         help="simulate a crash after this many days "
+                              "(no final flush; use --resume to continue)")
+    collect.add_argument("--persist-every", type=int, default=24 * 60,
+                         metavar="MINUTES",
+                         help="checkpoint cadence in simulated minutes "
+                              "(default: daily)")
     sub.add_parser("overview", help="Tables 2-3, Figure 1")
     sub.add_parser("dynamics", help="Figures 2-8")
     sub.add_parser("stabilization", help="Figure 9, Observation 8")
@@ -134,8 +157,54 @@ def cmd_engines(data: ExperimentData) -> None:
     print(rendering.render_group_tables(correlation.per_type))
 
 
+def cmd_collect(args: argparse.Namespace) -> int:
+    from repro.collect import auto_resume_minute, run_collection
+    from repro.faults import standard_chaos_plan
+
+    config = _config(args)
+    if args.chaos:
+        config = config.with_(fault_plan=standard_chaos_plan(args.seed))
+    minutes_per_day = 24 * 60
+    until = (int(args.until_days * minutes_per_day)
+             if args.until_days is not None else None)
+    stop_at = (int(args.crash_at_days * minutes_per_day)
+               if args.crash_at_days is not None else None)
+    resume_from = auto_resume_minute(args.outdir) if args.resume else None
+
+    started = time.perf_counter()
+    result = run_collection(
+        config,
+        out_dir=args.outdir,
+        persist_every=args.persist_every,
+        resume_from=resume_from,
+        stop_at=stop_at,
+        until_minute=until,
+    )
+    stats = result.stats
+    elapsed = time.perf_counter() - started
+    verb = "crashed (simulated)" if result.crashed else "completed"
+    print(f"collection {verb} in {elapsed:.1f}s: "
+          f"{result.store.report_count:,} reports from "
+          f"{result.store.sample_count:,} samples in {args.outdir}")
+    print(f"  minutes processed    {stats.minutes_processed:,}")
+    print(f"  reports ingested     {stats.reports_ingested:,} "
+          f"({stats.duplicates_skipped:,} duplicates skipped)")
+    print(f"  transient errors     {stats.transient_errors:,} "
+          f"({stats.backoff_minutes:.0f} simulated backoff minutes)")
+    print(f"  outage minutes       {stats.outage_minutes:,}")
+    print(f"  gaps backfilled      {stats.minutes_backfilled:,} minutes / "
+          f"{stats.reports_backfilled:,} reports")
+    print(f"  dead letters         {stats.dead_letters:,}")
+    print(f"  checkpoint saves     {stats.checkpoint_saves:,}")
+    if stats.pending_gap_minutes:
+        print(f"  UNRECOVERED gap minutes: {stats.pending_gap_minutes:,}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "collect":
+        return cmd_collect(args)
     if args.command == "generate":
         data = run_experiment(_config(args))
         data.store.save(args.output)

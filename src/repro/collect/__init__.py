@@ -1,0 +1,38 @@
+"""The resilient feed-collection pipeline.
+
+The production-shaped counterpart of the in-memory drain loop in
+:mod:`repro.analysis.experiment`: a minute-by-minute collector
+(:class:`~repro.collect.collector.FeedCollector`) with exponential
+backoff, durable checkpoints, gap detection + backfill, idempotent
+ingest and a dead-letter queue — built to survive the fault plans in
+:mod:`repro.faults` and come out with the exact same dataset a
+fault-free run produces.
+"""
+
+from repro.collect.backoff import BackoffPolicy
+from repro.collect.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.collect.collector import CollectorStats, FeedCollector
+from repro.collect.deadletter import DeadLetter, DeadLetterQueue
+from repro.collect.driver import (
+    CollectionPaths,
+    CollectionResult,
+    auto_resume_minute,
+    collection_paths,
+    run_collection,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "Checkpoint",
+    "CollectionPaths",
+    "CollectionResult",
+    "CollectorStats",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FeedCollector",
+    "auto_resume_minute",
+    "collection_paths",
+    "load_checkpoint",
+    "run_collection",
+    "save_checkpoint",
+]

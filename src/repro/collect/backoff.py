@@ -1,0 +1,43 @@
+"""Exponential backoff with deterministic jitter.
+
+Delays are in *simulated minutes*: the collector accounts waiting time in
+its stats rather than sleeping, and a real deployment injects a sleep
+callable.  Jitter is drawn from a keyed RNG supplied by the caller, so a
+resumed run backs off exactly as a straight run would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff: ``base * factor**attempt``, capped, jittered."""
+
+    base_minutes: float = 1.0
+    factor: float = 2.0
+    max_minutes: float = 32.0
+    #: Attempts per operation before the collector gives up and records
+    #: the failure (a gap minute, a dead letter) instead of retrying.
+    max_attempts: int = 8
+    #: Symmetric jitter fraction: a delay d becomes d * (1 ± jitter).
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_minutes <= 0 or self.factor < 1 or self.max_minutes <= 0:
+            raise ConfigError("backoff base/factor/max must be positive")
+        if self.max_attempts < 1:
+            raise ConfigError("backoff max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("backoff jitter must be in [0,1)")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Delay in minutes before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_minutes, self.base_minutes * self.factor ** attempt)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw

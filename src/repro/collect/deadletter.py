@@ -1,0 +1,77 @@
+"""The dead-letter queue: payloads that failed validation, kept forever.
+
+A record the collector cannot decode is never silently discarded — it is
+appended here with the error and the poll minute, so an operator can
+audit exactly what was lost and a later tool can attempt re-decoding.
+Entries persist as JSON-lines (payload hex-encoded) when a path is
+given; loading an existing file resumes the queue across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One undecodable delivery."""
+
+    minute: int
+    error: str
+    payload: bytes
+
+
+class DeadLetterQueue:
+    """Append-only queue of failed records, optionally file-backed."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: list[DeadLetter] = []
+        if self.path is not None and self.path.exists():
+            self._entries = list(self._read(self.path))
+
+    @staticmethod
+    def _read(path: Path) -> Iterator[DeadLetter]:
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                doc = json.loads(line)
+                yield DeadLetter(
+                    minute=int(doc["minute"]),
+                    error=str(doc["error"]),
+                    payload=bytes.fromhex(doc["payload"]),
+                )
+
+    def add(self, payload: bytes, error: str, minute: int) -> DeadLetter:
+        """Record one failed payload; appends to the backing file if any."""
+        entry = DeadLetter(minute=minute, error=error, payload=bytes(payload))
+        self._entries.append(entry)
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps({
+                    "minute": entry.minute,
+                    "error": entry.error,
+                    "payload": entry.payload.hex(),
+                }, sort_keys=True) + "\n")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._entries)
+
+    def entries(self) -> list[DeadLetter]:
+        return list(self._entries)
+
+    def errors_by_kind(self) -> dict[str, int]:
+        """Histogram of dead letters by error message."""
+        counts: dict[str, int] = {}
+        for entry in self._entries:
+            counts[entry.error] = counts.get(entry.error, 0) + 1
+        return counts

@@ -61,6 +61,66 @@ class PermissionError_(VTError):
         self.endpoint = endpoint
 
 
+class TransientError(ReproError):
+    """A retryable failure (HTTP 429/5xx class, or a backend write timeout).
+
+    The request itself was well-formed; retrying with backoff is the
+    correct response.  ``status`` carries the HTTP-style status code the
+    real service would have returned.  Deliberately parented on
+    :class:`ReproError` rather than :class:`VTError`: the store's fault
+    layer raises it for injected write failures too, and the collector
+    retries all transient failures uniformly.
+    """
+
+    def __init__(self, detail: str = "transient service failure",
+                 status: int = 500) -> None:
+        super().__init__(f"{detail} (HTTP {status})")
+        self.status = status
+
+
+class ServiceUnavailableError(TransientError):
+    """The endpoint is down for a sustained period (HTTP 503).
+
+    Raised by the feed during an outage window: unlike a one-off
+    :class:`TransientError`, an immediate retry is pointless — the caller
+    should record the gap and backfill once the service recovers.
+    """
+
+    def __init__(self, detail: str = "service unavailable") -> None:
+        super().__init__(detail, status=503)
+
+
+class FeedNotAttachedError(VTError):
+    """The premium feed was polled without ever having been attached.
+
+    An earlier revision silently returned an empty batch here (and still
+    counted it in ``batches_served``), which made a misconfigured
+    collector indistinguishable from a quiet feed.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "premium feed polled before attach(); a never-attached feed "
+            "receives no reports"
+        )
+
+
+class ArchiveExpiredError(VTError):
+    """A feed-archive minute older than the retention window was requested.
+
+    Mirrors the real feed's bounded catch-up window: per-minute batches
+    can be re-fetched only for the last N days.
+    """
+
+    def __init__(self, minute: int, horizon: int) -> None:
+        super().__init__(
+            f"feed archive no longer holds minute {minute} "
+            f"(retention horizon is minute {horizon})"
+        )
+        self.minute = minute
+        self.horizon = horizon
+
+
 # --------------------------------------------------------------------------
 # Report store errors
 # --------------------------------------------------------------------------
@@ -84,6 +144,20 @@ class UnknownSampleError(StoreError, KeyError):
 
 class ShardClosedError(StoreError):
     """An ingest was attempted on a store that was already finalised."""
+
+
+# --------------------------------------------------------------------------
+# Collector errors
+# --------------------------------------------------------------------------
+
+
+class CollectError(ReproError):
+    """Base class for resilient-collector failures."""
+
+
+class CheckpointError(CollectError):
+    """A collector checkpoint file is missing fields, corrupt, or does not
+    match the store it claims to describe."""
 
 
 # --------------------------------------------------------------------------

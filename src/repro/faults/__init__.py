@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the collection pipeline.
+
+The paper's dataset exists because a collector survived 14 months of
+polling a live feed; this package makes that failure surface *testable*.
+A :class:`~repro.faults.plan.FaultPlan` describes, with a seed, every
+fault a run may see — outage windows, transient errors, duplicated or
+corrupted deliveries, store write failures — and the chaos wrappers in
+:mod:`repro.faults.chaos` inject exactly those faults around the real
+feed/store/client objects.  :mod:`repro.collect` is the consumer that
+must come through unscathed.
+"""
+
+from repro.faults.chaos import (
+    ChaosClient,
+    ChaosFeed,
+    ChaosStore,
+    chaos_wrap,
+)
+from repro.faults.injectors import corrupt_payload, corrupt_report
+from repro.faults.plan import FaultPlan, OutageWindow, standard_chaos_plan
+
+__all__ = [
+    "ChaosClient",
+    "ChaosFeed",
+    "ChaosStore",
+    "chaos_wrap",
+    "corrupt_payload",
+    "corrupt_report",
+    "FaultPlan",
+    "OutageWindow",
+    "standard_chaos_plan",
+]

@@ -1,0 +1,56 @@
+"""Payload corruption primitives.
+
+The feed's wire format for one report is the compact binary record of
+:mod:`repro.store.codec`; a corrupted delivery is those bytes truncated
+or structurally damaged.  Every mangle mode here is guaranteed to make
+:func:`repro.store.codec.decode_report` raise
+:class:`~repro.errors.CorruptRecordError` — a *silently* wrong decode
+would defeat the dead-letter accounting the chaos tests assert on — and
+is deterministic given the plan's keyed RNG.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.store import codec
+from repro.vt.reports import ScanReport
+
+#: Byte offset of the engine-count field inside the record header
+#: (scan_time, positives, total, first/last submission, last_analysis,
+#: times_submitted come first: 8+2+2+8+8+8+4 bytes).
+_N_ENGINES_OFFSET = struct.calcsize("<qHHqqqI")
+
+
+def truncate_payload(record: bytes, rng: random.Random) -> bytes:
+    """Cut the record short — a partial read off the wire."""
+    if len(record) <= 1:
+        return b""
+    return record[: rng.randrange(1, len(record))]
+
+
+def inflate_length_field(record: bytes, rng: random.Random) -> bytes:
+    """Bit-damage the engine-count header field.
+
+    The count no longer matches the payload that follows, so the decoder
+    sees a truncated labels/versions region.
+    """
+    mangled = bytearray(record)
+    current = struct.unpack_from("<H", mangled, _N_ENGINES_OFFSET)[0]
+    inflated = min(0xFFFF, current + rng.randrange(64, 4096))
+    struct.pack_into("<H", mangled, _N_ENGINES_OFFSET, inflated)
+    return bytes(mangled)
+
+
+_MODES = (truncate_payload, inflate_length_field)
+
+
+def corrupt_payload(record: bytes, rng: random.Random) -> bytes:
+    """Mangle one encoded record with a randomly chosen (but seeded) mode."""
+    return rng.choice(_MODES)(record, rng)
+
+
+def corrupt_report(report: ScanReport, rng: random.Random) -> bytes:
+    """Encode a report to wire bytes and corrupt them."""
+    return corrupt_payload(codec.encode_report(report), rng)

@@ -56,6 +56,7 @@ class ReportStore:
         self.shards: dict[int, MonthlyShard] = {}
         self._index: dict[str, list[Address]] = {}
         self._sample_meta: dict[str, tuple[str, bool]] = {}
+        self._scan_index: dict[str, set[int]] = {}
         self._cache = BlockCache(max_bytes=cache_bytes)
         self._blocks_decoded = 0
         self._open_reads = 0
@@ -82,11 +83,35 @@ class ReportStore:
         # must drop a cached decode of it) independent of cache policy.
         self._cache.invalidate((month, block))
         self._index.setdefault(report.sha256, []).append((month, block, slot))
+        self._scan_index.setdefault(report.sha256, set()).add(report.scan_time)
         if report.sha256 not in self._sample_meta:
             self._sample_meta[report.sha256] = (
                 report.file_type,
                 report.first_submission_date >= 0,
             )
+
+    def has_report(self, sha256: str, scan_time: int) -> bool:
+        """Whether a report for ``(sha256, scan_time)`` is already stored.
+
+        The idempotency hook: a scan is identified by its sample and
+        minute (one analysis per sample per minute), so replayed feed
+        batches, duplicated deliveries and backfill overlap can all be
+        recognised without decoding any block.
+        """
+        times = self._scan_index.get(sha256)
+        return times is not None and scan_time in times
+
+    def ingest_unique(self, report: ScanReport) -> bool:
+        """Ingest unless an identical scan is already stored.
+
+        Returns ``True`` when the report was ingested, ``False`` when it
+        was recognised as a duplicate and skipped — the contract retrying
+        collectors rely on so replays never double-count.
+        """
+        if self.has_report(report.sha256, report.scan_time):
+            return False
+        self.ingest(report)
+        return True
 
     def ingest_batch(self, reports: Iterable[ScanReport]) -> int:
         """Add a batch (e.g. one feed poll); returns the count ingested."""
@@ -309,8 +334,15 @@ class ReportStore:
                     fh.write(block.payload)
 
     @classmethod
-    def load(cls, path: str | Path) -> "ReportStore":
-        """Reload a store written by :meth:`save`, rebuilding the index."""
+    def load(cls, path: str | Path, *, reopen: bool = False) -> "ReportStore":
+        """Reload a store written by :meth:`save`, rebuilding the index.
+
+        By default the loaded store is sealed (analysis use).  With
+        ``reopen=True`` the shards stay writable so ingest can continue —
+        the crash/resume path of the resilient collector.  Reopened
+        appends land in fresh blocks after the loaded ones; existing
+        addresses are unaffected.
+        """
         path = Path(path)
         with path.open("rb") as fh:
             if fh.read(len(_FILE_MAGIC)) != _FILE_MAGIC:
@@ -340,23 +372,25 @@ class ReportStore:
                 shard.report_count = report_count
                 shard.verbose_bytes = verbose
                 shard.encoded_bytes = encoded
-                shard.closed = True
+                shard.closed = not reopen
                 store.shards[month] = shard
         store._rebuild_index()
-        store.closed = True
+        store.closed = not reopen
         return store
 
     def _rebuild_index(self) -> None:
         self._index.clear()
         self._sample_meta.clear()
+        self._scan_index.clear()
         for month in sorted(self.shards):
             shard = self.shards[month]
             for block_idx, block in enumerate(shard.blocks):
                 for slot, record in enumerate(block.records()):
-                    sha, _, first_sub = codec.peek_meta(record)
+                    sha, scan_time, first_sub = codec.peek_meta(record)
                     self._index.setdefault(sha, []).append(
                         (month, block_idx, slot)
                     )
+                    self._scan_index.setdefault(sha, set()).add(scan_time)
                     if sha not in self._sample_meta:
                         report = codec.decode_report(record)
                         self._sample_meta[sha] = (

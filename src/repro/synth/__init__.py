@@ -11,6 +11,7 @@ presets bundling everything (:mod:`repro.synth.scenario`).
 
 from repro.synth.scenario import (
     ScenarioConfig,
+    chaos_scenario,
     dynamics_scenario,
     paper_scenario,
     tiny_scenario,
@@ -25,6 +26,7 @@ from repro.synth.trace import (
 
 __all__ = [
     "ScenarioConfig",
+    "chaos_scenario",
     "dynamics_scenario",
     "paper_scenario",
     "tiny_scenario",

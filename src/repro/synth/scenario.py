@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, standard_chaos_plan
 from repro.vt.behavior import BehaviorParams
 from repro.vt.filetypes import FILE_TYPES, TOP20_FILE_TYPES
 
@@ -67,6 +68,10 @@ class ScenarioConfig:
     #: Report-store decoded-block cache budget in bytes (None = the
     #: store's default).
     store_cache_bytes: int | None = None
+    #: Fault plan for the resilient-collection pipeline (None = no
+    #: injected faults).  Ignored by :func:`run_experiment`; consumed by
+    #: :func:`repro.collect.run_collection`.
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.n_samples <= 0:
@@ -115,4 +120,17 @@ def tiny_scenario(n_samples: int = 400, seed: int = 0) -> ScenarioConfig:
         file_types=TOP20_FILE_TYPES,
         min_reports=2,
         fresh_only=True,
+    )
+
+
+def chaos_scenario(n_samples: int = 400, seed: int = 0) -> ScenarioConfig:
+    """The tiny scenario under the standard fault plan.
+
+    Used by the chaos smoke test and the ``repro collect --chaos`` CLI
+    path: small enough to run in seconds, faulty enough to exercise the
+    whole resilience surface (outage + backfill, transients, duplicates,
+    corrupt payloads, store write failures).
+    """
+    return tiny_scenario(n_samples=n_samples, seed=seed).with_(
+        fault_plan=standard_chaos_plan(seed)
     )

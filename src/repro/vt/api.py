@@ -8,19 +8,28 @@ module reproduces verbatim:
 * :class:`RescanAPI`  — ``POST /api/v3/files/{id}/analyse`` — re-analyse;
 * :class:`ReportAPI`  — ``GET  /api/v3/files/{id}`` — fetch latest report.
 
-:class:`VTClient` bundles the three endpoints behind an API key with the
-real service's quota model (free keys: small per-day quota; premium keys:
+:class:`FeedBatchAPI` — ``GET /api/v3/feeds/files/{minute}`` — re-fetches
+a past per-minute feed batch from the service-side
+:class:`~repro.vt.feed.FeedArchive` (premium only, bounded retention);
+it is the sanctioned backfill path for collectors that missed minutes.
+
+:class:`VTClient` bundles the endpoints behind an API key with the real
+service's quota model (free keys: small per-day quota; premium keys:
 effectively unlimited plus feed access).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.errors import PermissionError_, QuotaExceededError
+from repro.errors import ConfigError, PermissionError_, QuotaExceededError
 from repro.vt.reports import ScanReport
 from repro.vt.samples import Sample
 from repro.vt.service import VirusTotalService
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (feed imports api-level errors)
+    from repro.vt.feed import FeedArchive
 
 #: Requests per day allowed on a free API key (the real public quota).
 FREE_DAILY_QUOTA = 500
@@ -94,6 +103,35 @@ class ReportAPI(_Endpoint):
         return self._service.report(sha256)
 
 
+class FeedBatchAPI(_Endpoint):
+    """``GET /feeds/files/{minute}``: re-fetch a past per-minute batch.
+
+    Premium-only, like the live feed itself, and bounded by the archive's
+    retention window — a request past the window raises
+    :class:`~repro.errors.ArchiveExpiredError`, mirroring the real
+    endpoint's 7-day catch-up limit.
+    """
+
+    def __init__(
+        self,
+        service: VirusTotalService,
+        key: APIKey,
+        archive: "FeedArchive | None",
+    ) -> None:
+        super().__init__(service, key)
+        self._archive = archive
+
+    def __call__(self, minute: int, timestamp: int) -> list[ScanReport]:
+        if not self._key.premium:
+            raise PermissionError_("feed batch")
+        if self._archive is None:
+            raise ConfigError(
+                "client has no feed archive bound; pass archive= to VTClient"
+            )
+        self._charge(timestamp)
+        return self._archive.batch(minute)
+
+
 class VTClient:
     """A VirusTotal API client bound to one key.
 
@@ -108,12 +146,14 @@ class VTClient:
         key: str = "test-key",
         premium: bool = False,
         daily_quota: int = FREE_DAILY_QUOTA,
+        archive: "FeedArchive | None" = None,
     ) -> None:
         self.service = service
         self.api_key = APIKey(key, premium=premium, daily_quota=daily_quota)
         self.upload = UploadAPI(service, self.api_key)
         self.rescan = RescanAPI(service, self.api_key)
         self.report = ReportAPI(service, self.api_key)
+        self.feed_batch = FeedBatchAPI(service, self.api_key, archive)
 
     def require_premium(self, endpoint: str) -> None:
         """Gate premium-only functionality (the feed) on the key."""

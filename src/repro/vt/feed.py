@@ -9,6 +9,13 @@ and exposes the accumulated reports as per-minute batches.
 The feed is the *only* sanctioned path from the simulator into the report
 store — mirroring how the authors' pipeline never queried per-sample but
 consumed the firehose.
+
+:class:`FeedArchive` models the real feed's bounded catch-up window: the
+service keeps every per-minute batch for a retention period (the real
+endpoint serves the last 7 days), so a collector that missed minutes —
+an outage, a crash — can re-fetch exactly what it lost.  The archive is
+*server-side* state: it survives a collector crash and is never touched
+by the delivery-path fault injection in :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -16,9 +23,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator
 
-from repro.errors import PermissionError_
+from repro.errors import ArchiveExpiredError, FeedNotAttachedError, PermissionError_
+from repro.vt.clock import MINUTES_PER_DAY
 from repro.vt.reports import ScanReport
 from repro.vt.service import VirusTotalService
+
+#: How long the feed archive retains per-minute batches (the real
+#: premium feed allows catch-up fetches for the last 7 days).
+DEFAULT_ARCHIVE_RETENTION_MINUTES = 7 * MINUTES_PER_DAY
 
 
 class PremiumFeed:
@@ -30,8 +42,14 @@ class PremiumFeed:
         self._service = service
         self._buffer: deque[ScanReport] = deque()
         self._attached = False
+        self._ever_attached = False
         self.batches_served = 0
         self.reports_served = 0
+        #: Minute cursor: the exclusive upper bound of the last bounded
+        #: poll — i.e. every report scanned strictly before ``cursor``
+        #: has been delivered (or deliberately dropped).  Collectors use
+        #: it to detect gaps between polls.
+        self.cursor = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -40,13 +58,14 @@ class PremiumFeed:
     def attach(self) -> None:
         """Start receiving reports from the service."""
         if not self._attached:
-            self._service.add_listener(self._buffer.append)
+            self._service.add_listener(self._deliver)
             self._attached = True
+            self._ever_attached = True
 
     def detach(self) -> None:
         """Stop receiving reports."""
         if self._attached:
-            self._service.remove_listener(self._buffer.append)
+            self._service.remove_listener(self._deliver)
             self._attached = False
 
     def __enter__(self) -> "PremiumFeed":
@@ -55,6 +74,35 @@ class PremiumFeed:
 
     def __exit__(self, *exc_info) -> None:
         self.detach()
+
+    # ------------------------------------------------------------------
+    # Delivery (the fault-interposition point)
+    # ------------------------------------------------------------------
+
+    def _deliver(self, report: ScanReport) -> None:
+        """Receive one report from the service.
+
+        This bound method is what the feed registers as the service
+        listener; :mod:`repro.faults` interposes on the *consumption*
+        side instead (wrapping :meth:`poll`), but subclasses may override
+        delivery directly.
+        """
+        self._buffer.append(report)
+
+    def drop_before(self, minute: int) -> int:
+        """Discard buffered reports scanned strictly before ``minute``.
+
+        The outage hook: a detached-listener outage loses exactly the
+        reports the feed would otherwise have served, and the fault layer
+        expresses that loss through this method.  Returns the number of
+        reports dropped.
+        """
+        dropped = 0
+        while self._buffer and self._buffer[0].scan_time < minute:
+            self._buffer.popleft()
+            dropped += 1
+        self.cursor = max(self.cursor, minute)
+        return dropped
 
     # ------------------------------------------------------------------
     # Consumption
@@ -69,8 +117,13 @@ class PremiumFeed:
 
         With ``until_minute`` set, only reports scanned strictly before
         that minute are returned — the caller is emulating the authors'
-        minute-by-minute polling loop.
+        minute-by-minute polling loop.  Polling a feed that was never
+        attached raises :class:`~repro.errors.FeedNotAttachedError`
+        instead of silently serving an empty batch: a misconfigured
+        collector must be distinguishable from a quiet feed.
         """
+        if not self._ever_attached:
+            raise FeedNotAttachedError()
         batch: list[ScanReport] = []
         while self._buffer:
             if (until_minute is not None
@@ -79,6 +132,8 @@ class PremiumFeed:
             batch.append(self._buffer.popleft())
         self.batches_served += 1
         self.reports_served += len(batch)
+        if until_minute is not None:
+            self.cursor = max(self.cursor, until_minute)
         return batch
 
     def minute_batches(self) -> Iterator[tuple[int, list[ScanReport]]]:
@@ -106,3 +161,75 @@ class PremiumFeed:
             self.batches_served += 1
             self.reports_served += len(batch)
             yield current_minute, batch
+
+
+class FeedArchive:
+    """Server-side retention of per-minute feed batches.
+
+    Subscribes to the service like a feed, but groups reports by scan
+    minute and retains them for a bounded window.  :meth:`batch` serves a
+    past minute's reports for gap backfill; minutes that have aged out
+    raise :class:`~repro.errors.ArchiveExpiredError`, forcing the
+    collector onto its best-effort latest-report fallback.
+    """
+
+    def __init__(
+        self,
+        service: VirusTotalService,
+        retention_minutes: int = DEFAULT_ARCHIVE_RETENTION_MINUTES,
+    ) -> None:
+        self._service = service
+        self.retention_minutes = retention_minutes
+        self._minutes: dict[int, list[ScanReport]] = {}
+        self._order: deque[int] = deque()
+        #: Highest scan minute observed — the archive's notion of "now".
+        self.horizon = 0
+        self._attached = False
+
+    def attach(self) -> None:
+        if not self._attached:
+            self._service.add_listener(self._record)
+            self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self._service.remove_listener(self._record)
+            self._attached = False
+
+    def __enter__(self) -> "FeedArchive":
+        self.attach()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    def _record(self, report: ScanReport) -> None:
+        minute = report.scan_time
+        if minute not in self._minutes:
+            self._minutes[minute] = []
+            self._order.append(minute)
+        self._minutes[minute].append(report)
+        if minute > self.horizon:
+            self.horizon = minute
+            floor = self.horizon - self.retention_minutes
+            while self._order and self._order[0] < floor:
+                del self._minutes[self._order.popleft()]
+
+    @property
+    def oldest_available(self) -> int:
+        """The oldest minute still guaranteed fetchable."""
+        return max(0, self.horizon - self.retention_minutes)
+
+    def minutes_retained(self) -> int:
+        """Number of distinct minutes currently held."""
+        return len(self._minutes)
+
+    def batch(self, minute: int) -> list[ScanReport]:
+        """The per-minute batch for ``minute`` (a copy; possibly empty).
+
+        Raises :class:`~repro.errors.ArchiveExpiredError` when the minute
+        predates the retention window.
+        """
+        if minute < self.oldest_available:
+            raise ArchiveExpiredError(minute, self.oldest_available)
+        return list(self._minutes.get(minute, ()))

@@ -145,9 +145,19 @@ class VirusTotalService:
         )
         self._last_report[sample.sha256] = report
         self.reports_generated += 1
+        self._emit(report)
+        return report
+
+    def _emit(self, report: ScanReport) -> None:
+        """Fan a freshly generated report out to every listener.
+
+        The delivery interposition point: fault layers that model lossy
+        or flaky fan-out (see :mod:`repro.faults`) wrap the consumption
+        side of the feed, but a subclass can override this to perturb
+        delivery for *all* listeners at once.
+        """
         for listener in self._listeners:
             listener(report)
-        return report
 
     # ------------------------------------------------------------------
     # Table 1 operations

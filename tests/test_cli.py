@@ -76,3 +76,27 @@ class TestNewCommands:
         text = path.read_text()
         assert "## Calibration vs paper" in text
         assert "## Individual engines" in text
+
+
+class TestCollect:
+    def test_collect_writes_working_directory(self, run_cli, tmp_path):
+        code, out = run_cli("--samples", "200", "--seed", "2",
+                            "collect", str(tmp_path), "--until-days", "15")
+        assert code == 0
+        assert "collection completed" in out
+        assert (tmp_path / "store.rpr").exists()
+        assert (tmp_path / "checkpoint.json").exists()
+
+    def test_collect_chaos_crash_then_resume(self, run_cli, tmp_path):
+        code, out = run_cli("--samples", "200", "--seed", "2",
+                            "collect", str(tmp_path), "--chaos",
+                            "--until-days", "16", "--crash-at-days", "8")
+        assert code == 0
+        assert "crashed (simulated)" in out
+
+        code, out = run_cli("--samples", "200", "--seed", "2",
+                            "collect", str(tmp_path), "--chaos",
+                            "--until-days", "16", "--resume")
+        assert code == 0
+        assert "collection completed" in out
+        assert "UNRECOVERED" not in out

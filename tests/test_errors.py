@@ -60,3 +60,29 @@ class TestDoctests:
         results = doctest.testmod(module, verbose=False)
         assert results.failed == 0
         assert results.attempted > 0
+
+
+class TestResilienceErrors:
+    def test_transient_hierarchy(self):
+        # TransientError deliberately sits under ReproError, not VTError:
+        # the store's fault layer raises it too.
+        assert issubclass(errors.TransientError, errors.ReproError)
+        assert not issubclass(errors.TransientError, errors.VTError)
+        assert issubclass(errors.ServiceUnavailableError, errors.TransientError)
+
+    def test_transient_status_codes(self):
+        assert errors.TransientError().status == 500
+        assert errors.TransientError(status=429).status == 429
+        assert errors.ServiceUnavailableError().status == 503
+        assert "503" in str(errors.ServiceUnavailableError())
+
+    def test_feed_errors(self):
+        assert issubclass(errors.FeedNotAttachedError, errors.VTError)
+        assert issubclass(errors.ArchiveExpiredError, errors.VTError)
+        expired = errors.ArchiveExpiredError(minute=5, horizon=100)
+        assert expired.minute == 5 and expired.horizon == 100
+        assert "5" in str(expired) and "100" in str(expired)
+
+    def test_collector_errors(self):
+        assert issubclass(errors.CollectError, errors.ReproError)
+        assert issubclass(errors.CheckpointError, errors.CollectError)

@@ -2,9 +2,13 @@
 
 import pytest
 
-from repro.errors import PermissionError_
+from repro.errors import (
+    ArchiveExpiredError,
+    FeedNotAttachedError,
+    PermissionError_,
+)
 from repro.vt import clock
-from repro.vt.feed import PremiumFeed
+from repro.vt.feed import FeedArchive, PremiumFeed
 from repro.vt.samples import Sample, sha256_of
 from repro.vt.service import VirusTotalService
 
@@ -80,6 +84,98 @@ class TestPolling:
             feed.poll()
             assert feed.batches_served == 1
             assert feed.reports_served == 1
+
+    def test_never_attached_poll_raises(self, service):
+        feed = PremiumFeed(service)
+        with pytest.raises(FeedNotAttachedError):
+            feed.poll()
+
+    def test_poll_after_detach_is_allowed(self, service):
+        feed = PremiumFeed(service)
+        feed.attach()
+        _upload(service, "a", 100)
+        feed.detach()
+        assert [r.scan_time for r in feed.poll()] == [100]
+
+    def test_bound_exactly_at_report_minute_excludes_it(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 100)
+            assert feed.poll(until_minute=100) == []
+            assert feed.pending() == 1
+            assert [r.scan_time for r in feed.poll(until_minute=101)] == [100]
+
+    def test_poll_zero_bound(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 0)
+            assert [r.scan_time for r in feed.poll(until_minute=1)] == [0]
+
+    def test_cursor_advances_with_bounded_polls(self, service):
+        with PremiumFeed(service) as feed:
+            assert feed.cursor == 0
+            feed.poll(until_minute=50)
+            assert feed.cursor == 50
+            feed.poll(until_minute=30)  # never regresses
+            assert feed.cursor == 50
+            feed.poll()  # unbounded drains don't move the minute cursor
+            assert feed.cursor == 50
+
+    def test_drop_before_discards_and_counts(self, service):
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 10)
+            _upload(service, "b", 20)
+            _upload(service, "c", 30)
+            assert feed.drop_before(25) == 2
+            assert feed.cursor == 25
+            assert [r.scan_time for r in feed.poll()] == [30]
+
+
+class TestFeedArchive:
+    def test_records_per_minute_batches(self, service):
+        with FeedArchive(service) as archive:
+            _upload(service, "a", 100)
+            _upload(service, "b", 100)
+            _upload(service, "c", 105)
+        assert len(archive.batch(100)) == 2
+        assert len(archive.batch(105)) == 1
+        assert archive.batch(101) == []
+        assert archive.minutes_retained() == 2
+
+    def test_batch_returns_a_copy(self, service):
+        with FeedArchive(service) as archive:
+            _upload(service, "a", 100)
+        archive.batch(100).clear()
+        assert len(archive.batch(100)) == 1
+
+    def test_retention_evicts_old_minutes(self, service):
+        with FeedArchive(service, retention_minutes=50) as archive:
+            _upload(service, "a", 10)
+            _upload(service, "b", 100)
+            assert archive.horizon == 100
+            assert archive.oldest_available == 50
+            with pytest.raises(ArchiveExpiredError):
+                archive.batch(10)
+            assert len(archive.batch(100)) == 1
+
+    def test_expiry_error_carries_bounds(self, service):
+        with FeedArchive(service, retention_minutes=50) as archive:
+            _upload(service, "a", 100)
+        with pytest.raises(ArchiveExpiredError) as excinfo:
+            archive.batch(0)
+        assert excinfo.value.minute == 0
+        assert excinfo.value.horizon == 50
+
+    def test_detached_archive_records_nothing(self, service):
+        archive = FeedArchive(service)
+        _upload(service, "a", 100)
+        assert archive.minutes_retained() == 0
+
+    def test_archive_and_feed_coexist(self, service):
+        archive = FeedArchive(service)
+        archive.attach()
+        with PremiumFeed(service) as feed:
+            _upload(service, "a", 100)
+            assert feed.pending() == 1
+        assert len(archive.batch(100)) == 1
 
 
 class TestMinuteBatches:

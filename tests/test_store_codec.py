@@ -104,3 +104,41 @@ class TestCompactness:
                              n_engines=70)
         assert (len(codec.encode_report(report))
                 < codec.verbose_json_size(report) / 10)
+
+
+class TestCorruptionSurface:
+    """Hostile payloads must surface as CorruptRecordError, never as a
+    bare struct.error/ValueError leaking codec internals."""
+
+    def test_every_truncation_point_rejected_cleanly(self):
+        blob = codec.encode_report(make_report(labels=[1, 0, -1, 0, 1]))
+        for cut in range(len(blob)):
+            with pytest.raises(CorruptRecordError):
+                codec.decode_report(blob[:cut])
+
+    def test_bit_flips_never_leak_internal_errors(self):
+        blob = codec.encode_report(make_report(labels=[1, 0, -1, 0, 1]))
+        for pos in range(len(blob)):
+            for bit in (0x01, 0x80):
+                mangled = bytearray(blob)
+                mangled[pos] ^= bit
+                try:
+                    codec.decode_report(bytes(mangled))
+                except CorruptRecordError:
+                    pass  # detected corruption: the contract
+                # A silent decode is acceptable (no checksum in the
+                # record format) — an escaping struct.error/ValueError
+                # is not, and would fail this test.
+
+    def test_inflated_count_field_rejected(self):
+        blob = bytearray(codec.encode_report(make_report()))
+        import struct as _struct
+
+        offset = _struct.calcsize("<qHHqqqI")
+        _struct.pack_into("<H", blob, offset, 60_000)
+        with pytest.raises(CorruptRecordError):
+            codec.decode_report(bytes(blob))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(CorruptRecordError):
+            codec.decode_report(b"")

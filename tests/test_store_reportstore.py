@@ -356,3 +356,69 @@ class TestPersistence:
         reports = store.reports_for(sha)
         assert len(reports) == 3
         assert _month_time(0, offset=9999) in [r.scan_time for r in reports]
+
+
+class TestIdempotentIngest:
+    def test_has_report_keyed_on_sample_and_minute(self, store):
+        report = make_report(sha=make_sha("s"), scan_time=1000)
+        store.ingest(report)
+        assert store.has_report(report.sha256, 1000)
+        assert not store.has_report(report.sha256, 1001)
+        assert not store.has_report(make_sha("other"), 1000)
+
+    def test_ingest_unique_skips_duplicates(self, store):
+        report = make_report(sha=make_sha("s"), scan_time=1000)
+        assert store.ingest_unique(report) is True
+        assert store.ingest_unique(report) is False
+        assert store.report_count == 1
+
+    def test_ingest_unique_allows_other_minutes(self, store):
+        sha = make_sha("s")
+        assert store.ingest_unique(make_report(sha=sha, scan_time=1000))
+        assert store.ingest_unique(make_report(sha=sha, scan_time=2000))
+        assert store.report_count == 2
+
+    def test_scan_index_survives_save_load(self, store, tmp_path):
+        report = make_report(sha=make_sha("s"), scan_time=1000)
+        store.ingest(report)
+        path = tmp_path / "x.store"
+        store.save(path)
+        loaded = ReportStore.load(path, reopen=True)
+        assert loaded.ingest_unique(report) is False
+        assert loaded.report_count == 1
+
+
+class TestReopen:
+    def test_reopened_store_accepts_ingest(self, store, tmp_path):
+        _fill(store, n_samples=2, scans_each=2)
+        path = tmp_path / "x.store"
+        store.save(path)
+        reopened = ReportStore.load(path, reopen=True)
+        extra = make_report(sha=make_sha("new"), scan_time=_month_time(1))
+        reopened.ingest(extra)
+        assert reopened.report_count == store.report_count + 1
+        assert reopened.reports_for(extra.sha256) == [extra]
+
+    def test_reopened_store_preserves_old_reports(self, store, tmp_path):
+        _fill(store, n_samples=2, scans_each=2)
+        path = tmp_path / "x.store"
+        store.save(path)
+        reopened = ReportStore.load(path, reopen=True)
+        reopened.ingest(make_report(sha=make_sha("new"),
+                                    scan_time=_month_time(1)))
+        for i in range(2):
+            sha = make_sha(f"s{i}")
+            assert reopened.reports_for(sha) == store.reports_for(sha)
+
+    def test_reopened_store_round_trips_again(self, store, tmp_path):
+        _fill(store, n_samples=2, scans_each=2)
+        first = tmp_path / "first.store"
+        store.save(first)
+        reopened = ReportStore.load(first, reopen=True)
+        extra = make_report(sha=make_sha("new"), scan_time=_month_time(0))
+        reopened.ingest(extra)
+        second = tmp_path / "second.store"
+        reopened.save(second)
+        final = ReportStore.load(second)
+        assert final.report_count == store.report_count + 1
+        assert final.reports_for(extra.sha256) == [extra]
