@@ -10,6 +10,12 @@ Reproduces the paper's data pipeline at scenario scale:
    (:mod:`repro.store`), exactly as the authors' collection loop did;
 4. expose the store plus cached analysis views (AV-Rank series, dataset
    *S*) to the figure/table pipelines.
+
+The event loop itself lives in :mod:`repro.parallel.worker` so the
+serial path and the sharded workers run literally the same code; with
+``workers > 1`` the run fans out across processes and the shard stores
+are merged bit-identically to the serial result (see
+:mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -18,16 +24,13 @@ from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.core.avrank import AVRankSeries, collect_series, select_dataset_s
+from repro.parallel.sharding import resolve_workers
+from repro.store.merge import MergeStats
 from repro.store.reportstore import ReportStore
-from repro.synth.population import PopulationGenerator
 from repro.synth.scenario import ScenarioConfig
-from repro.vt.engines import EngineFleet, default_fleet
-from repro.vt.feed import PremiumFeed
+from repro.vt.engines import EngineFleet
 from repro.vt.filetypes import TOP20_FILE_TYPES
 from repro.vt.service import VirusTotalService
-
-#: Drain the feed into the store every this many scan events.
-_FEED_DRAIN_EVERY = 10_000
 
 
 @dataclass
@@ -36,9 +39,17 @@ class ExperimentData:
 
     config: ScenarioConfig
     fleet: EngineFleet
-    service: VirusTotalService
+    #: The live service of a serial in-process run.  ``None`` when the
+    #: store was produced by parallel workers (their services die with
+    #: the worker processes) or loaded from disk; no analysis pipeline
+    #: needs it, only the snapshot-campaign comparison does.
+    service: VirusTotalService | None
     store: ReportStore
     events_executed: int = 0
+    #: Worker processes that produced the store (1 = in-process serial).
+    workers: int = 1
+    #: How the shard merge moved data (parallel runs only).
+    merge_stats: MergeStats | None = None
     _series: list[AVRankSeries] | None = field(default=None, repr=False)
 
     @property
@@ -71,56 +82,37 @@ class ExperimentData:
 
 
 def run_experiment(
-    config: ScenarioConfig, fleet: EngineFleet | None = None
+    config: ScenarioConfig,
+    fleet: EngineFleet | None = None,
+    workers: int | str = 1,
 ) -> ExperimentData:
     """Generate, scan and store one scenario; returns the loaded data.
 
     ``fleet`` overrides the default engine fleet — used by ablations
-    (e.g. a fleet with copy rules stripped).
+    (e.g. a fleet with copy rules stripped); with ``workers > 1`` the
+    override is shipped to every worker, so ablations parallelise too.
+
+    ``workers`` runs the scenario as that many sharded processes
+    (``"auto"`` = CPU count).  The result is bit-identical to the serial
+    run — same reports, same store layout, same canonical digest — with
+    one difference: ``data.service`` is ``None``, since worker services
+    die with their processes.  ``workers=1`` executes entirely in
+    process, never touching :mod:`multiprocessing`; platforms without
+    ``fork`` fall back to the same in-process path.
     """
-    if fleet is None:
-        fleet = default_fleet(config.seed)
-    service = VirusTotalService(fleet=fleet, params=config.behavior,
-                                seed=config.seed)
-    store_kwargs = {"block_records": config.block_records}
-    if config.store_cache_bytes is not None:
-        store_kwargs["cache_bytes"] = config.store_cache_bytes
-    store = ReportStore(**store_kwargs)
-    feed = PremiumFeed(service)
+    n_workers = resolve_workers(workers)
+    if n_workers > 1:
+        from repro.parallel.runner import run_parallel
 
-    # Generate the population and flatten its scans into global events.
-    generator = PopulationGenerator(config)
-    specs = list(generator)
-    events: list[tuple[int, int, int]] = []
-    for sample_idx, spec in enumerate(specs):
-        sample = spec.sample
-        if not sample.fresh:
-            # Pre-window files already exist on the service.
-            sample.times_submitted = 1
-            sample.last_submission_date = sample.first_seen
-        service.register(sample)
-        for ordinal, when in enumerate(spec.scan_times):
-            events.append((when, sample_idx, ordinal))
-    events.sort()
+        return run_parallel(config, fleet=fleet, workers=n_workers)
 
-    executed = 0
-    with feed:
-        for when, sample_idx, ordinal in events:
-            sample = specs[sample_idx].sample
-            if ordinal == 0 and sample.fresh:
-                service.upload(sample, when)
-            else:
-                service.rescan(sample.sha256, when)
-            executed += 1
-            if executed % _FEED_DRAIN_EVERY == 0:
-                store.ingest_batch(feed.poll())
-        store.ingest_batch(feed.poll())
-    store.close()
+    from repro.parallel.worker import execute_range
 
+    run = execute_range(config, 0, config.n_samples, fleet=fleet)
     return ExperimentData(
         config=config,
-        fleet=fleet,
-        service=service,
-        store=store,
-        events_executed=executed,
+        fleet=run.fleet,
+        service=run.service,
+        store=run.store,
+        events_executed=run.events_executed,
     )

@@ -48,9 +48,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", metavar="PATH",
                         help="load reports from a saved store instead of "
                              "generating")
+    parser.add_argument("--workers", metavar="N|auto", default="1",
+                        help="shard the scenario across N worker processes "
+                             "('auto' = CPU count); bit-identical to a "
+                             "serial run (default: 1)")
     sub = parser.add_subparsers(dest="command", required=True)
     gen = sub.add_parser("generate", help="generate and save a store")
     gen.add_argument("output", help="path for the saved store")
+    dig = sub.add_parser(
+        "digest",
+        help="print the canonical content digest of a saved store "
+             "(the serial/parallel equivalence gate compares these)")
+    dig.add_argument("path", help="saved store to digest")
     collect = sub.add_parser(
         "collect",
         help="run the resilient collection pipeline into a directory")
@@ -98,11 +107,25 @@ def _data(args: argparse.Namespace) -> ExperimentData:
             store=store,
         )
     started = time.perf_counter()
-    data = run_experiment(_config(args))
+    data = run_experiment(_config(args), workers=_workers(args))
     print(f"[generated {data.store.report_count:,} reports from "
           f"{data.store.sample_count:,} samples in "
-          f"{time.perf_counter() - started:.1f}s]\n", file=sys.stderr)
+          f"{time.perf_counter() - started:.1f}s "
+          f"({data.workers} worker{'s' if data.workers != 1 else ''})]\n",
+          file=sys.stderr)
     return data
+
+
+def _workers(args: argparse.Namespace) -> int | str:
+    value = args.workers
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(
+            f"repro-vt: --workers must be an integer or 'auto', "
+            f"got {value!r}")
 
 
 def _series_and_s(data: ExperimentData):
@@ -206,9 +229,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "collect":
         return cmd_collect(args)
     if args.command == "generate":
-        data = run_experiment(_config(args))
+        data = run_experiment(_config(args), workers=_workers(args))
         data.store.save(args.output)
         print(f"saved {data.store.report_count:,} reports to {args.output}")
+        return 0
+    if args.command == "digest":
+        print(ReportStore.load(args.path).digest())
         return 0
     data = _data(args)
     if args.command == "calibrate":

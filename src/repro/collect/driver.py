@@ -164,14 +164,15 @@ def run_collection(
 
     # Same deterministic population + event schedule as run_experiment.
     generator = PopulationGenerator(config)
-    specs = list(generator)
+    # Register clones: the service applies the pre-window submission
+    # backfill at registration time, and the generator's spec objects
+    # stay pristine for any later re-run from the same specs.
+    samples: list = []
     events: list[tuple[int, int, int]] = []
-    for sample_idx, spec in enumerate(specs):
-        sample = spec.sample
-        if not sample.fresh:
-            sample.times_submitted = 1
-            sample.last_submission_date = sample.first_seen
+    for sample_idx, spec in enumerate(generator):
+        sample = spec.sample.clone()
         service.register(sample)
+        samples.append(sample)
         for ordinal, when in enumerate(spec.scan_times):
             events.append((when, sample_idx, ordinal))
     events.sort()
@@ -193,7 +194,7 @@ def run_collection(
                 feed.attach()
             while idx < n_events and events[idx][0] == minute:
                 _, sample_idx, ordinal = events[idx]
-                sample = specs[sample_idx].sample
+                sample = samples[sample_idx]
                 if ordinal == 0 and sample.fresh:
                     service.upload(sample, minute)
                 else:

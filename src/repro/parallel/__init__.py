@@ -1,0 +1,36 @@
+"""Deterministic sharded parallel execution of scenario experiments.
+
+The serial experiment loop simulates every scan on one core.  This
+package partitions a scenario's sample population into K deterministic
+shards, runs each shard's generate→scan→ingest loop in its own worker
+process (own service, own engine fleet, own store), and merges the frozen
+shard stores back into one — **bit-identically** to the serial run:
+
+* every sample's randomness is keyed by its global index and hash, so a
+  shard's reports do not depend on K, on scheduling, or on which worker
+  ran it (:mod:`repro.parallel.sharding`);
+* each worker replays its shard's events in global time order, so
+  per-sample RNG streams advance exactly as serially
+  (:mod:`repro.parallel.worker`);
+* the merge splices per-month record streams by
+  ``(scan_time, global_sample_index)`` — the serial ingest order — at
+  block granularity where shards do not overlap in time
+  (:mod:`repro.store.merge`).
+
+The equivalence contract: ``run_experiment(config, workers=K)`` yields a
+store whose :meth:`~repro.store.reportstore.ReportStore.digest` equals
+the serial run's, for every K.
+"""
+
+from repro.parallel.sharding import ShardSpec, partition_samples, resolve_workers
+from repro.parallel.worker import RangeRun, ShardRun, execute_range, run_shard
+
+__all__ = [
+    "ShardSpec",
+    "partition_samples",
+    "resolve_workers",
+    "RangeRun",
+    "ShardRun",
+    "execute_range",
+    "run_shard",
+]

@@ -1,0 +1,107 @@
+"""Parallel experiment orchestration: fan out shards, merge the stores.
+
+``run_parallel`` partitions the scenario into K sample shards
+(:mod:`repro.parallel.sharding`), runs each shard's event loop in its own
+forked worker process (:mod:`repro.parallel.worker`), and merges the
+frozen shard stores with the block-level concatenation path in
+:mod:`repro.store.merge`.  The result is bit-identical to a serial run:
+per-report bytes are a pure function of ``(config, sample)`` and the
+merge key ``(scan_time, global_sample_index)`` reproduces the serial
+ingest order exactly, so the merged store's canonical digest equals the
+serial store's for every worker count.
+
+Falls back to in-process execution when the partition leaves a single
+non-empty shard or when the platform cannot fork (the worker protocol is
+fork-based; spawn would work but buys nothing on the platforms that lack
+fork in practice, so the graceful path is simply the serial one).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.parallel.sharding import partition_samples
+from repro.parallel.worker import ShardRun, _run_shard_task
+from repro.store.cache import DEFAULT_CACHE_BYTES
+from repro.store.merge import FrozenMonth, FrozenShard, MergeStats, concat_frozen
+from repro.store.reportstore import ReportStore
+from repro.synth.population import PopulationGenerator
+from repro.synth.scenario import ScenarioConfig
+from repro.vt.engines import EngineFleet, default_fleet
+
+
+def fork_available() -> bool:
+    """Whether this platform supports fork-based worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def merge_shard_runs(
+    config: ScenarioConfig, runs: list[ShardRun]
+) -> tuple[ReportStore, MergeStats]:
+    """Merge worker results into one sealed store in serial ingest order.
+
+    The merge key shipped by workers is ``(scan_time, global index)``;
+    the sample hash for the index is recomputed here (it is a pure
+    function of ``(seed, index)``), which keeps the worker payloads free
+    of 64-byte hash strings for every record.
+    """
+    generator = PopulationGenerator(config)
+    shas = [generator.sha_for(i) for i in range(config.n_samples)]
+    sources = []
+    for run in sorted(runs, key=lambda r: r.shard_index):
+        months = {}
+        for month, sm in run.months.items():
+            months[month] = FrozenMonth(
+                blocks=sm.compressed_blocks(),
+                report_count=sm.report_count,
+                verbose_bytes=sm.verbose_bytes,
+                encoded_bytes=sm.encoded_bytes,
+                keys=sm.keys,
+                shas=[shas[index] for _, index in sm.keys],
+                scan_times=[when for when, _ in sm.keys],
+            )
+        sources.append(FrozenShard(months=months,
+                                   sample_meta=run.sample_meta))
+    cache_bytes = (config.store_cache_bytes
+                   if config.store_cache_bytes is not None
+                   else DEFAULT_CACHE_BYTES)
+    return concat_frozen(sources, block_records=config.block_records,
+                         cache_bytes=cache_bytes)
+
+
+def run_parallel(
+    config: ScenarioConfig,
+    fleet: EngineFleet | None = None,
+    workers: int = 2,
+):
+    """Run one scenario across ``workers`` processes; returns the data.
+
+    The returned :class:`~repro.analysis.experiment.ExperimentData` has
+    ``service=None`` — worker services die with their processes, and no
+    analysis pipeline needs a live service (the CLI's load-from-store
+    path already runs without one).  Callers that need the service (e.g.
+    the snapshot-campaign comparison) run serially.
+    """
+    from repro.analysis.experiment import ExperimentData, run_experiment
+
+    shards = [s for s in partition_samples(config.n_samples, workers)
+              if s.size]
+    if len(shards) <= 1 or not fork_available():
+        return run_experiment(config, fleet=fleet, workers=1)
+
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=len(shards)) as pool:
+        runs = pool.map(_run_shard_task,
+                        [(config, shard, fleet) for shard in shards],
+                        chunksize=1)
+
+    store, merge_stats = merge_shard_runs(config, runs)
+    return ExperimentData(
+        config=config,
+        fleet=fleet if fleet is not None else default_fleet(config.seed),
+        service=None,
+        store=store,
+        events_executed=sum(run.events_executed for run in runs),
+        workers=len(shards),
+        merge_stats=merge_stats,
+    )

@@ -1,0 +1,71 @@
+"""Deterministic sample partitioning for the parallel scenario engine.
+
+A scenario's sample population is split into K contiguous index ranges.
+Because every sample's randomness is keyed by its *global* index (see
+:mod:`repro.synth.population`) — not by anything a worker does — the
+partition is purely an assignment of work: shard outputs are independent
+of K, of scheduling, and of which process runs which shard.  That is the
+property the serial/parallel equivalence gate rests on.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the sample population: ``[start, stop)``."""
+
+    shard_index: int
+    n_shards: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def indices(self) -> range:
+        return range(self.start, self.stop)
+
+
+def partition_samples(n_samples: int, n_shards: int) -> tuple[ShardSpec, ...]:
+    """Split ``n_samples`` into ``n_shards`` contiguous, balanced ranges.
+
+    A pure function of its arguments: shard ``k`` always covers
+    ``[k*n//K, (k+1)*n//K)``, so every caller — workers, the merge
+    driver, a resumed run — derives the same partition independently.
+    Shard sizes differ by at most one; when ``n_shards > n_samples`` the
+    surplus shards are empty (callers typically skip them).
+    """
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    if n_samples < 0:
+        raise ConfigError(f"n_samples must be >= 0, got {n_samples}")
+    bounds = [n_samples * k // n_shards for k in range(n_shards + 1)]
+    return tuple(
+        ShardSpec(shard_index=k, n_shards=n_shards,
+                  start=bounds[k], stop=bounds[k + 1])
+        for k in range(n_shards)
+    )
+
+
+def resolve_workers(workers: int | str) -> int:
+    """Normalise a ``workers`` argument (``int`` or ``"auto"``) to a count.
+
+    ``"auto"`` resolves to the machine's CPU count.  Anything else must
+    be a positive integer; ``ConfigError`` otherwise, so a bad CLI value
+    fails loudly before any work is scheduled.
+    """
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigError(f"workers must be a positive int or 'auto', "
+                          f"got {workers!r}")
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    return workers

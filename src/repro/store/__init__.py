@@ -15,6 +15,7 @@ from repro.store.codec import (
     encode_report,
     verbose_json_size,
 )
+from repro.store.merge import FrozenMonth, FrozenShard, MergeStats, concat_frozen
 from repro.store.reportstore import ReportStore
 from repro.store.shard import CompressedBlock, MonthlyShard
 from repro.store.stats import MonthStats, StoreStats
@@ -25,6 +26,10 @@ __all__ = [
     "verbose_json_size",
     "BlockCache",
     "CacheStats",
+    "FrozenMonth",
+    "FrozenShard",
+    "MergeStats",
+    "concat_frozen",
     "ReportStore",
     "CompressedBlock",
     "MonthlyShard",

@@ -1,0 +1,237 @@
+"""Frozen-shard merge: splice K sharded stores into one, in key order.
+
+The parallel scenario engine (:mod:`repro.parallel`) runs each sample
+shard's generate→scan→ingest loop in its own process, producing K frozen
+:class:`~repro.store.reportstore.ReportStore` equivalents.  This module
+owns the merge: interleave every shard's per-month record stream into a
+single store whose record order — and therefore canonical
+:meth:`~repro.store.reportstore.ReportStore.digest` — is byte-identical
+to the serial run's.
+
+The merge works on *encoded records*, never decoding a report:
+
+* each source month arrives as compressed blocks plus three parallel
+  per-record arrays — a globally unique, per-stream non-decreasing sort
+  ``key``, the record's ``sha256`` and its ``scan_time`` — which is
+  everything needed to order records and rebuild the per-sample index
+  without touching payload bytes;
+* a K-way merge interleaves records by key; output blocks freeze every
+  ``block_records`` records, exactly as live ingest would have, so the
+  merged block layout (and each block's zlib payload) matches the serial
+  store's bit for bit;
+* **block splice fast path**: when one stream's entire next block sorts
+  before every other stream's head (and the output buffer is at a block
+  boundary), the compressed block is adopted wholesale — no decompress,
+  no recompress.  Shards that do not overlap in time merge at block
+  granularity; overlapping regions fall back to record-level interleave,
+  decompressing each source block at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.store.cache import DEFAULT_CACHE_BYTES
+from repro.store.reportstore import ReportStore
+from repro.store.shard import DEFAULT_BLOCK_RECORDS, CompressedBlock, MonthlyShard
+
+
+@dataclass
+class FrozenMonth:
+    """One source shard's records for one month, ready to merge.
+
+    ``keys``/``shas``/``scan_times`` are parallel arrays with one entry
+    per record, in block order.  Keys must be non-decreasing within the
+    month and globally unique across all sources being merged (the
+    parallel runner uses ``(scan_time, global_sample_index)``).
+    """
+
+    blocks: list[CompressedBlock]
+    report_count: int
+    verbose_bytes: int
+    encoded_bytes: int
+    keys: list = field(repr=False)
+    shas: list[str] = field(repr=False)
+    scan_times: list[int] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        n = sum(b.record_count for b in self.blocks)
+        if not (len(self.keys) == len(self.shas)
+                == len(self.scan_times) == n == self.report_count):
+            raise ConfigError(
+                f"frozen month metadata mismatch: {len(self.keys)} keys, "
+                f"{len(self.shas)} shas, {len(self.scan_times)} scan times "
+                f"for {n} block records ({self.report_count} counted)"
+            )
+
+
+@dataclass
+class FrozenShard:
+    """One source shard: its months plus the per-sample metadata."""
+
+    months: dict[int, FrozenMonth]
+    sample_meta: dict[str, tuple[str, bool]]
+
+
+class _Stream:
+    """Cursor over one source month's record stream."""
+
+    __slots__ = ("blocks", "keys", "shas", "scan_times", "meta",
+                 "pos", "n", "block_idx", "block_start", "_records",
+                 "blocks_spliced", "blocks_decompressed")
+
+    def __init__(self, month: FrozenMonth, meta: dict[str, tuple[str, bool]]):
+        self.blocks = month.blocks
+        self.keys = month.keys
+        self.shas = month.shas
+        self.scan_times = month.scan_times
+        self.meta = meta
+        self.pos = 0
+        self.n = len(month.keys)
+        self.block_idx = 0
+        self.block_start = 0
+        self._records: list[bytes] | None = None
+        self.blocks_spliced = 0
+        self.blocks_decompressed = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= self.n
+
+    @property
+    def key(self):
+        return self.keys[self.pos]
+
+    def block_span(self) -> tuple[int, int]:
+        """``(start, end)`` record positions of the current block."""
+        end = self.block_start + self.blocks[self.block_idx].record_count
+        return self.block_start, end
+
+    def at_block_start(self) -> bool:
+        return self.pos == self.block_start
+
+    def take_record(self) -> bytes:
+        """The current record's encoded bytes (decompressing lazily)."""
+        if self._records is None:
+            self._records = self.blocks[self.block_idx].records()
+            self.blocks_decompressed += 1
+        record = self._records[self.pos - self.block_start]
+        self._advance(1)
+        return record
+
+    def take_block(self) -> CompressedBlock:
+        """Adopt the whole current block without decompressing it."""
+        block = self.blocks[self.block_idx]
+        self.blocks_spliced += 1
+        self._advance(block.record_count)
+        return block
+
+    def _advance(self, count: int) -> None:
+        self.pos += count
+        _, end = self.block_span()
+        if self.pos >= end and self.pos < self.n:
+            self.block_idx += 1
+            self.block_start = end
+            self._records = None
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """How the merge moved data: spliced vs re-blocked."""
+
+    months: int
+    records: int
+    blocks_spliced: int
+    blocks_decompressed: int
+    blocks_recompressed: int
+
+
+def concat_frozen(
+    sources: Sequence[FrozenShard],
+    block_records: int = DEFAULT_BLOCK_RECORDS,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+) -> tuple[ReportStore, MergeStats]:
+    """Merge frozen shards into one sealed store, in global key order.
+
+    Returns the store plus :class:`MergeStats`.  The store is
+    indistinguishable from one that ingested the same records serially in
+    key order with the same ``block_records``: identical block layout,
+    identical per-month accounting, identical index — and therefore an
+    identical canonical digest and an identical ``save()`` file.
+    """
+    store = ReportStore(block_records=block_records, cache_bytes=cache_bytes)
+    months = sorted({m for src in sources for m in src.months})
+    total_records = 0
+    spliced = decompressed = recompressed = 0
+
+    for month in months:
+        present = [src for src in sources if month in src.months]
+        streams = [
+            _Stream(src.months[month], src.sample_meta)
+            for src in present
+            if src.months[month].report_count
+        ]
+        dest = MonthlyShard(month, block_records=block_records)
+        dest.report_count = sum(src.months[month].report_count
+                                for src in present)
+        dest.verbose_bytes = sum(src.months[month].verbose_bytes
+                                 for src in present)
+        dest.encoded_bytes = sum(src.months[month].encoded_bytes
+                                 for src in present)
+        total_records += dest.report_count
+        buffer: list[bytes] = []
+
+        def register(stream: _Stream, at: int, slot_address) -> None:
+            sha = stream.shas[at]
+            store._index.setdefault(sha, []).append(slot_address)
+            store._scan_index.setdefault(sha, set()).add(
+                stream.scan_times[at])
+            if sha not in store._sample_meta:
+                store._sample_meta[sha] = stream.meta[sha]
+
+        while streams:
+            stream = min(streams, key=lambda s: s.key)
+            start, end = stream.block_span()
+            block = stream.blocks[stream.block_idx]
+            can_splice = (
+                not buffer
+                and stream.at_block_start()
+                and block.record_count == block_records
+                and all(s is stream or stream.keys[end - 1] < s.key
+                        for s in streams)
+            )
+            if can_splice:
+                dest_block = len(dest.blocks)
+                for slot, at in enumerate(range(start, end)):
+                    register(stream, at, (month, dest_block, slot))
+                dest.blocks.append(stream.take_block())
+            else:
+                register(stream, stream.pos,
+                         (month, len(dest.blocks), len(buffer)))
+                buffer.append(stream.take_record())
+                if len(buffer) >= block_records:
+                    dest.blocks.append(CompressedBlock.from_records(buffer))
+                    recompressed += 1
+                    buffer = []
+            if stream.exhausted:
+                spliced += stream.blocks_spliced
+                decompressed += stream.blocks_decompressed
+                streams.remove(stream)
+
+        if buffer:
+            dest.blocks.append(CompressedBlock.from_records(buffer))
+            recompressed += 1
+        dest.closed = True
+        store.shards[month] = dest
+
+    store.closed = True
+    stats = MergeStats(
+        months=len(months),
+        records=total_records,
+        blocks_spliced=spliced,
+        blocks_decompressed=decompressed,
+        blocks_recompressed=recompressed,
+    )
+    return store, stats

@@ -25,6 +25,7 @@ store block by block instead of materialising every report at once.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 from pathlib import Path
@@ -158,6 +159,28 @@ class ReportStore:
     def stats(self) -> StoreStats:
         """Table 2 style accounting for the whole store."""
         return compute_store_stats(self)
+
+    def digest(self) -> str:
+        """Canonical content digest of the stored report stream.
+
+        Hashes every encoded record, month by month in ingest order, with
+        length framing — so two stores are digest-equal iff they hold the
+        same reports in the same order per month.  Block layout, cache
+        state and index structures do not participate: the digest is the
+        contract the parallel runner's serial/parallel equivalence gate
+        checks (``run_experiment(config, workers=K)`` must reproduce the
+        serial digest for every K).  On a live store the open buffers are
+        included, so the digest reflects everything ingested so far.
+        """
+        h = hashlib.sha256()
+        for month in sorted(self.shards):
+            shard = self.shards[month]
+            h.update(struct.pack("<iq", month, shard.report_count))
+            for _, records in shard.iter_record_blocks():
+                for record in records:
+                    h.update(struct.pack("<I", len(record)))
+                    h.update(record)
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Retrieval

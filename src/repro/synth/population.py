@@ -66,6 +66,15 @@ class PopulationGenerator:
     def _rng_for(self, index: int) -> random.Random:
         return random.Random(f"{self.config.seed}:pop:{index}")
 
+    def sha_for(self, index: int) -> str:
+        """The hash sample ``index`` will carry, without generating it.
+
+        Pure function of ``(seed, index)`` — the parallel runner uses it
+        to map shard-local report streams back to global sample identity
+        without re-running generation.
+        """
+        return sha256_of(f"{self.config.seed}:{index}")
+
     def spec_for(self, index: int) -> SampleSpec:
         """Generate sample ``index`` of the scenario."""
         config = self.config
@@ -112,7 +121,7 @@ class PopulationGenerator:
         )
 
         sample = Sample(
-            sha256=sha256_of(f"{config.seed}:{index}"),
+            sha256=self.sha_for(index),
             file_type=file_type,
             malicious=malicious,
             first_seen=first_seen,
@@ -127,6 +136,22 @@ class PopulationGenerator:
     def __iter__(self) -> Iterator[SampleSpec]:
         for index in range(self.config.n_samples):
             yield self.spec_for(index)
+
+    def iter_range(self, start: int, stop: int) -> Iterator[tuple[int, SampleSpec]]:
+        """``(global_index, spec)`` for a contiguous slice of the scenario.
+
+        Because every sample's randomness is keyed by its global index,
+        the slice is identical to the same positions of a full iteration —
+        the property that lets shard workers generate disjoint ranges
+        independently and still reproduce the serial population exactly.
+        """
+        if not 0 <= start <= stop <= self.config.n_samples:
+            raise IndexError(
+                f"range [{start}, {stop}) outside population "
+                f"[0, {self.config.n_samples})"
+            )
+        for index in range(start, stop):
+            yield index, self.spec_for(index)
 
     def __len__(self) -> int:
         return self.config.n_samples

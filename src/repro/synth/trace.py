@@ -115,10 +115,10 @@ def replay_trace(
 
     events: list[tuple[int, Sample, int]] = []
     for spec in load_trace(path):
-        sample = spec.sample
-        if not sample.fresh:
-            sample.times_submitted = 1
-            sample.last_submission_date = sample.first_seen
+        # Register a clone; the service backfills the pre-window
+        # submission at registration time (Table 1 state for files that
+        # predate the window), leaving the loaded spec untouched.
+        sample = spec.sample.clone()
         service.register(sample)
         for ordinal, when in enumerate(spec.scan_times):
             events.append((when, sample, ordinal))

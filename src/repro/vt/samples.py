@@ -88,6 +88,24 @@ class Sample:
         """Whether the sample was first submitted inside the window."""
         return self.first_seen >= 0
 
+    def clone(self) -> "Sample":
+        """A pristine copy with the service-side state reset.
+
+        Identity and latent ground truth (hash, type, truth, timestamps,
+        size, family) carry over; the Table 1 mutable fields and the
+        lazily built detection plan do not.  Experiment runners register
+        clones so a generator's spec objects are never mutated by a run —
+        re-running from the same specs starts from the same state.
+        """
+        return Sample(
+            sha256=self.sha256,
+            file_type=self.file_type,
+            malicious=self.malicious,
+            first_seen=self.first_seen,
+            size_bytes=self.size_bytes,
+            family=self.family,
+        )
+
     def record_submission(self, timestamp: int) -> None:
         """Apply the Upload-API submission side effects (Table 1 row 1)."""
         self.times_submitted += 1

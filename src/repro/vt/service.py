@@ -60,7 +60,20 @@ class VirusTotalService:
     # ------------------------------------------------------------------
 
     def register(self, sample: Sample) -> None:
-        """Make a sample known to the service without submitting it."""
+        """Make a sample known to the service without submitting it.
+
+        A pre-window sample (negative ``first_seen``) that has never been
+        submitted gets its historical submission backfilled here: such a
+        file already exists on the service, so its Table 1 fields must
+        read as "submitted once, at first_seen".  This used to be every
+        runner's job (mutating generator spec objects in place); doing it
+        at registration time keeps the adjustment in one place and leaves
+        the caller's objects alone when clones are registered.
+        """
+        if (not sample.fresh and sample.times_submitted == 0
+                and sample.last_submission_date is None):
+            sample.times_submitted = 1
+            sample.last_submission_date = sample.first_seen
         self._samples[sample.sha256] = sample
 
     def known(self, sha256: str) -> bool:
