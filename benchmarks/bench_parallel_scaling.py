@@ -27,6 +27,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis.experiment import run_experiment
+from repro.obs import MetricsRegistry
 from repro.synth.scenario import paper_scenario
 
 try:  # pytest mode — absent when run as a plain script
@@ -44,6 +45,33 @@ RESULTS_SCHEMA = "repro-bench/1"
 DEFAULT_SAMPLES = 50_000
 DEFAULT_WORKERS = (1, 2, 4, 8)
 DEFAULT_SEED = 1
+
+
+def run_metrics_overhead(n_samples: int, seed: int) -> dict:
+    """Time a serial run with the disabled (null) registry vs a live one.
+
+    Instrumented components pre-bind no-op handles when no registry is
+    injected, so the disabled path should cost one no-op call per event
+    — i.e. the two walls should differ only by measurement noise plus
+    the real recording cost of the live registry.
+    """
+    config = paper_scenario(n_samples=n_samples, seed=seed)
+
+    started = time.perf_counter()
+    run_experiment(config)  # metrics=None → the shared null registry
+    disabled = time.perf_counter() - started
+
+    started = time.perf_counter()
+    data = run_experiment(config, metrics=MetricsRegistry())
+    enabled = time.perf_counter() - started
+
+    return {
+        "n_samples": n_samples,
+        "reports": data.store.report_count,
+        "disabled_seconds": round(disabled, 3),
+        "enabled_seconds": round(enabled, 3),
+        "enabled_over_disabled": round(enabled / disabled, 3),
+    }
 
 
 def run_scaling(n_samples: int, seed: int,
@@ -90,6 +118,8 @@ def run_scaling(n_samples: int, seed: int,
         },
         "benchmarks": entries,
         "equivalent": all(e["digest_matches_serial"] for e in entries),
+        "metrics_overhead": run_metrics_overhead(
+            min(n_samples, 10_000), seed),
     }
 
 
@@ -105,6 +135,11 @@ def render(results: dict) -> None:
             f"{entry['wall_seconds']:8.2f}s  "
             f"speedup {entry['speedup']:5.2f}x  "
             f"({entry['reports']:,} reports, digest {ok})")
+    overhead = results["metrics_overhead"]
+    say(f"  metrics overhead (n={overhead['n_samples']:,}): "
+        f"disabled {overhead['disabled_seconds']:.2f}s, "
+        f"enabled {overhead['enabled_seconds']:.2f}s "
+        f"({overhead['enabled_over_disabled']:.2f}x)")
 
 
 def test_parallel_scaling(benchmark):

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.core.avrank import AVRankSeries, collect_series, select_dataset_s
+from repro.obs import get_registry
 from repro.parallel.sharding import resolve_workers
 from repro.store.merge import MergeStats
 from repro.store.reportstore import ReportStore
@@ -50,6 +51,9 @@ class ExperimentData:
     workers: int = 1
     #: How the shard merge moved data (parallel runs only).
     merge_stats: MergeStats | None = None
+    #: The metrics registry the run recorded into (None when the caller
+    #: ran without observability; possibly the process-wide registry).
+    metrics: object | None = None
     _series: list[AVRankSeries] | None = field(default=None, repr=False)
 
     @property
@@ -85,6 +89,7 @@ def run_experiment(
     config: ScenarioConfig,
     fleet: EngineFleet | None = None,
     workers: int | str = 1,
+    metrics=None,
 ) -> ExperimentData:
     """Generate, scan and store one scenario; returns the loaded data.
 
@@ -99,20 +104,32 @@ def run_experiment(
     die with their processes.  ``workers=1`` executes entirely in
     process, never touching :mod:`multiprocessing`; platforms without
     ``fork`` fall back to the same in-process path.
+
+    ``metrics`` injects a registry for the run; with ``None`` the
+    process-wide registry is used (the disabled null object unless
+    :func:`repro.obs.enable` was called).  Serial and parallel runs of
+    the same config export byte-identical metrics — see
+    ``tests/test_obs_golden.py``.
     """
+    if metrics is None:
+        metrics = get_registry()
     n_workers = resolve_workers(workers)
     if n_workers > 1:
         from repro.parallel.runner import run_parallel
 
-        return run_parallel(config, fleet=fleet, workers=n_workers)
+        return run_parallel(config, fleet=fleet, workers=n_workers,
+                            metrics=metrics)
 
     from repro.parallel.worker import execute_range
 
-    run = execute_range(config, 0, config.n_samples, fleet=fleet)
+    run = execute_range(config, 0, config.n_samples, fleet=fleet,
+                        metrics=metrics)
+    run.store.publish_metrics()
     return ExperimentData(
         config=config,
         fleet=run.fleet,
         service=run.service,
         store=run.store,
         events_executed=run.events_executed,
+        metrics=metrics,
     )

@@ -10,7 +10,15 @@ Subcommands mirror the reproduction workflow:
 * ``dynamics`` — Figures 2-8;
 * ``stabilization`` — Figure 9 and Observation 8;
 * ``engines`` — Figures 10-11 and the Tables 4-8 groups;
+* ``metrics`` — the observability registry of a run (or a loaded
+  store's accounting gauges) as a summary tree, Prometheus text or
+  JSONL;
 * ``all`` — everything above in one run.
+
+The global ``--metrics-out PATH`` flag works with every subcommand:
+the run records into a live :class:`~repro.obs.MetricsRegistry` and the
+export is written on exit (``.prom`` suffix → Prometheus text,
+anything else → JSONL).
 """
 
 from __future__ import annotations
@@ -25,6 +33,14 @@ from repro.analysis import engines as engines_mod
 from repro.analysis import rendering, stabilization as stab_mod
 from repro.analysis.experiment import ExperimentData, run_experiment
 from repro.core.avrank import collect_series, select_dataset_s
+from repro.obs import (
+    MetricsRegistry,
+    jsonl_lines,
+    prometheus_text,
+    render_summary,
+    write_jsonl,
+    write_prometheus,
+)
 from repro.store.reportstore import ReportStore
 from repro.synth.scenario import dynamics_scenario, paper_scenario
 from repro.vt.engines import default_fleet
@@ -52,6 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="shard the scenario across N worker processes "
                              "('auto' = CPU count); bit-identical to a "
                              "serial run (default: 1)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="record run metrics and write the export here "
+                             "on exit (.prom = Prometheus text, anything "
+                             "else = JSONL)")
     sub = parser.add_subparsers(dest="command", required=True)
     gen = sub.add_parser("generate", help="generate and save a store")
     gen.add_argument("output", help="path for the saved store")
@@ -84,6 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("dynamics", help="Figures 2-8")
     sub.add_parser("stabilization", help="Figure 9, Observation 8")
     sub.add_parser("engines", help="Figures 10-11, Tables 4-8")
+    met = sub.add_parser(
+        "metrics",
+        help="print the metrics registry of a run (or of a loaded store)")
+    met.add_argument("--format", choices=("summary", "prom", "jsonl"),
+                     default="summary",
+                     help="output format (default: human summary tree)")
     sub.add_parser("all", help="every table and figure")
     sub.add_parser("calibrate", help="grade headline stats vs the paper")
     report = sub.add_parser("report", help="write a full markdown report")
@@ -97,17 +123,23 @@ def _config(args: argparse.Namespace):
     return dynamics_scenario(n_samples=args.samples, seed=args.seed)
 
 
-def _data(args: argparse.Namespace) -> ExperimentData:
+def _data(args: argparse.Namespace, metrics=None) -> ExperimentData:
     if args.store:
-        store = ReportStore.load(args.store)
+        store = ReportStore.load(args.store, metrics=metrics)
+        if metrics is not None:
+            # No run happened: the registry carries only the loaded
+            # store's accounting gauges (plus any later cache traffic).
+            store.publish_metrics()
         return ExperimentData(
             config=_config(args),
             fleet=default_fleet(args.seed),
             service=None,  # analyses never need the live service
             store=store,
+            metrics=metrics,
         )
     started = time.perf_counter()
-    data = run_experiment(_config(args), workers=_workers(args))
+    data = run_experiment(_config(args), workers=_workers(args),
+                          metrics=metrics)
     print(f"[generated {data.store.report_count:,} reports from "
           f"{data.store.sample_count:,} samples in "
           f"{time.perf_counter() - started:.1f}s "
@@ -180,7 +212,7 @@ def cmd_engines(data: ExperimentData) -> None:
     print(rendering.render_group_tables(correlation.per_type))
 
 
-def cmd_collect(args: argparse.Namespace) -> int:
+def cmd_collect(args: argparse.Namespace, metrics=None) -> int:
     from repro.collect import auto_resume_minute, run_collection
     from repro.faults import standard_chaos_plan
 
@@ -202,6 +234,7 @@ def cmd_collect(args: argparse.Namespace) -> int:
         resume_from=resume_from,
         stop_at=stop_at,
         until_minute=until,
+        metrics=metrics,
     )
     stats = result.stats
     elapsed = time.perf_counter() - started
@@ -224,19 +257,50 @@ def cmd_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(registry, path: str) -> None:
+    if path.endswith(".prom"):
+        write_prometheus(registry, path)
+    else:
+        write_jsonl(registry, path)
+    print(f"[wrote metrics to {path}]", file=sys.stderr)
+
+
+def cmd_metrics(args: argparse.Namespace, registry) -> int:
+    _data(args, metrics=registry)
+    if args.format == "jsonl":
+        print("\n".join(jsonl_lines(registry)))
+    elif args.format == "prom":
+        print(prometheus_text(registry), end="")
+    else:
+        print(render_summary(registry))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    registry = (MetricsRegistry()
+                if args.metrics_out or args.command == "metrics" else None)
+    status = _dispatch(args, registry)
+    if registry is not None and args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+    return status
+
+
+def _dispatch(args: argparse.Namespace, registry) -> int:
+    if args.command == "metrics":
+        return cmd_metrics(args, registry)
     if args.command == "collect":
-        return cmd_collect(args)
+        return cmd_collect(args, metrics=registry)
     if args.command == "generate":
-        data = run_experiment(_config(args), workers=_workers(args))
+        data = run_experiment(_config(args), workers=_workers(args),
+                              metrics=registry)
         data.store.save(args.output)
         print(f"saved {data.store.report_count:,} reports to {args.output}")
         return 0
     if args.command == "digest":
         print(ReportStore.load(args.path).digest())
         return 0
-    data = _data(args)
+    data = _data(args, metrics=registry)
     if args.command == "calibrate":
         from repro.analysis.calibration import calibration_report
 

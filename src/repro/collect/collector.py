@@ -49,6 +49,7 @@ from repro.errors import (
     ServiceUnavailableError,
     TransientError,
 )
+from repro.obs import NULL_REGISTRY
 from repro.store import codec
 from repro.vt.reports import ScanReport
 
@@ -101,6 +102,7 @@ class FeedCollector:
         persist_every: int | None = None,
         seed: int = 0,
         sleep: Callable[[float], None] | None = None,
+        metrics=None,
     ) -> None:
         self.feed = feed
         self.store = store
@@ -112,6 +114,30 @@ class FeedCollector:
         self.seed = seed
         self._sleep = sleep
         self._stats = CollectorStats()
+        # Observability: pre-bound handles (no-ops on the null registry),
+        # mirroring the CollectorStats counters that matter operationally.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_minutes = self.metrics.counter(
+            "collect.minutes", outcome="processed")
+        self._m_skipped = self.metrics.counter(
+            "collect.minutes", outcome="skipped")
+        self._m_poll_ok = self.metrics.counter("collect.polls", outcome="ok")
+        self._m_poll_outage = self.metrics.counter(
+            "collect.polls", outcome="outage")
+        self._m_poll_abandoned = self.metrics.counter(
+            "collect.polls", outcome="abandoned")
+        self._m_transient = self.metrics.counter("collect.transient.total")
+        self._m_ingested = self.metrics.counter("collect.ingest.reports")
+        self._m_duplicates = self.metrics.counter("collect.ingest.duplicates")
+        self._m_deadletters = self.metrics.counter("collect.deadletter.total")
+        self._m_gap_minutes = self.metrics.counter(
+            "collect.gap.minutes_detected")
+        self._m_backfill_minutes = self.metrics.counter(
+            "collect.backfill.minutes")
+        self._m_backfill_reports = self.metrics.counter(
+            "collect.backfill.reports")
+        self._m_backoff = self.metrics.counter("collect.backoff.minutes")
+        self._m_ckpt_saves = self.metrics.counter("collect.checkpoint.saves")
         self.deadletters = DeadLetterQueue(deadletter_path)
         self.checkpoint = Checkpoint()
         self._feed_healthy = True
@@ -156,6 +182,7 @@ class FeedCollector:
         ckpt = self.checkpoint
         if minute <= ckpt.last_minute:
             self._stats.minutes_skipped += 1
+            self._m_skipped.inc()
             return
         if minute > ckpt.last_minute + 1:
             self._register_gap(ckpt.last_minute + 1, minute)
@@ -163,11 +190,13 @@ class FeedCollector:
         batch = self._poll(minute)
         if batch is not None:
             self._stats.polls_ok += 1
+            self._m_poll_ok.inc()
             self._feed_healthy = True
             self._consume(batch, minute)
             self._poll_floor = minute + 1
         ckpt.last_minute = minute
         self._stats.minutes_processed += 1
+        self._m_minutes.inc()
         if self._feed_healthy and self.client is not None and ckpt.gaps:
             self.backfill(minute)
         self._maybe_persist(minute)
@@ -192,23 +221,27 @@ class FeedCollector:
         """One minute's poll under retry; ``None`` means the minute is a gap."""
         rng = random.Random(f"{self.seed}:pollwait:{minute}")
         attempt = 0
-        while True:
-            try:
-                return self.feed.poll(until_minute=minute + 1)
-            except ServiceUnavailableError:
-                self._stats.outage_minutes += 1
-                self._register_gap(minute, minute + 1)
-                self._feed_healthy = False
-                return None
-            except TransientError:
-                self._stats.transient_errors += 1
-                attempt += 1
-                if attempt >= self.backoff.max_attempts:
-                    self._stats.polls_abandoned += 1
+        with self.metrics.span("collect.poll.seconds"):
+            while True:
+                try:
+                    return self.feed.poll(until_minute=minute + 1)
+                except ServiceUnavailableError:
+                    self._stats.outage_minutes += 1
+                    self._m_poll_outage.inc()
                     self._register_gap(minute, minute + 1)
                     self._feed_healthy = False
                     return None
-                self._wait(self.backoff.delay(attempt - 1, rng))
+                except TransientError:
+                    self._stats.transient_errors += 1
+                    self._m_transient.inc()
+                    attempt += 1
+                    if attempt >= self.backoff.max_attempts:
+                        self._stats.polls_abandoned += 1
+                        self._m_poll_abandoned.inc()
+                        self._register_gap(minute, minute + 1)
+                        self._feed_healthy = False
+                        return None
+                    self._wait(self.backoff.delay(attempt - 1, rng))
 
     # ------------------------------------------------------------------
     # Validation + ingest
@@ -225,6 +258,7 @@ class FeedCollector:
                 except CorruptRecordError as exc:
                     self.deadletters.add(payload, str(exc), minute)
                     self._stats.dead_letters += 1
+                    self._m_deadletters.inc()
                     # The intact copy still exists server-side: mark the
                     # whole un-acknowledged poll window for re-fetch.
                     self._register_gap(self._poll_floor, minute + 1)
@@ -267,6 +301,8 @@ class FeedCollector:
                 self._wait(self.backoff.delay(attempt - 1, rng))
         self._stats.reports_ingested += ingested
         self._stats.duplicates_skipped += duplicates
+        self._m_ingested.inc(ingested)
+        self._m_duplicates.inc(duplicates)
         return ingested, duplicates
 
     # ------------------------------------------------------------------
@@ -280,6 +316,7 @@ class FeedCollector:
         if grew > 0:
             self._stats.gaps_detected += 1
             self._stats.gap_minutes_detected += grew
+            self._m_gap_minutes.inc(grew)
 
     def backfill(self, now: int, force: bool = False) -> None:
         """Re-fetch pending gaps through the catch-up feed endpoint.
@@ -308,6 +345,8 @@ class FeedCollector:
                 ingested, _ = self._ingest(batch, now)
                 self._stats.minutes_backfilled += 1
                 self._stats.reports_backfilled += ingested
+                self._m_backfill_minutes.inc()
+                self._m_backfill_reports.inc(ingested)
                 self.checkpoint.remove_gap(g, g + 1)
         if expired:
             self._recover_latest(expired, now)
@@ -331,6 +370,7 @@ class FeedCollector:
                 if self.store.ingest_unique(report):
                     self._stats.reports_recovered_latest += 1
                     self._stats.reports_ingested += 1
+                    self._m_ingested.inc()
 
     def _call_api(self, endpoint, kind: str, arg, now: int):
         """Call one API endpoint under transient-retry."""
@@ -341,6 +381,7 @@ class FeedCollector:
                 return endpoint(arg, now)
             except TransientError:
                 self._stats.transient_errors += 1
+                self._m_transient.inc()
                 attempt += 1
                 if attempt >= self.backoff.max_attempts:
                     raise
@@ -373,6 +414,7 @@ class FeedCollector:
             self.checkpoint.counters = counters
             save_checkpoint(self.checkpoint, self.checkpoint_path)
             self._stats.checkpoint_saves += 1
+            self._m_ckpt_saves.inc()
 
     # ------------------------------------------------------------------
     # Health surface
@@ -380,6 +422,7 @@ class FeedCollector:
 
     def _wait(self, minutes: float) -> None:
         self._stats.backoff_minutes += minutes
+        self._m_backoff.inc(minutes)
         if self._sleep is not None:
             self._sleep(minutes)
 

@@ -104,6 +104,7 @@ def run_collection(
     until_minute: int | None = None,
     archive_retention: int = DEFAULT_ARCHIVE_RETENTION_MINUTES,
     backoff: BackoffPolicy | None = None,
+    metrics=None,
 ) -> CollectionResult:
     """Run one scenario through the resilient collection pipeline.
 
@@ -115,6 +116,8 @@ def run_collection(
     stepping that minute, without the final backfill/persist.
     ``resume_from`` continues a crashed run from its ``out_dir``; use
     :func:`auto_resume_minute` to pick the minute after the checkpoint.
+    ``metrics`` threads one registry through the service, store,
+    collector and chaos wrappers.
     """
     if plan is None:
         plan = config.fault_plan
@@ -137,19 +140,20 @@ def run_collection(
     if fleet is None:
         fleet = default_fleet(config.seed)
     service = VirusTotalService(fleet=fleet, params=config.behavior,
-                                seed=config.seed)
+                                seed=config.seed, metrics=metrics)
     archive = FeedArchive(service, retention_minutes=archive_retention)
     feed = PremiumFeed(service)
     if resume_from is not None:
-        store = ReportStore.load(paths.store, reopen=True)
+        store = ReportStore.load(paths.store, reopen=True, metrics=metrics)
     else:
         store_kwargs = {"block_records": config.block_records}
         if config.store_cache_bytes is not None:
             store_kwargs["cache_bytes"] = config.store_cache_bytes
-        store = ReportStore(**store_kwargs)
+        store = ReportStore(metrics=metrics, **store_kwargs)
     client = VTClient(service, premium=True, archive=archive)
 
-    cfeed, cstore, cclient = chaos_wrap(feed, store, client, plan)
+    cfeed, cstore, cclient = chaos_wrap(feed, store, client, plan,
+                                        metrics=metrics)
     collector = FeedCollector(
         cfeed,
         cstore,
@@ -160,6 +164,7 @@ def run_collection(
         backoff=backoff,
         persist_every=persist_every if paths else None,
         seed=config.seed,
+        metrics=metrics,
     )
 
     # Same deterministic population + event schedule as run_experiment.

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.errors import ServiceUnavailableError, TransientError
 from repro.faults.injectors import corrupt_report
 from repro.faults.plan import FaultPlan
+from repro.obs import NULL_REGISTRY
 from repro.store.reportstore import ReportStore
 from repro.vt.api import VTClient
 from repro.vt.feed import PremiumFeed
@@ -37,7 +38,8 @@ class ChaosFeed:
     returns a mixed batch of :class:`ScanReport` and corrupted ``bytes``.
     """
 
-    def __init__(self, feed: PremiumFeed, plan: FaultPlan) -> None:
+    def __init__(self, feed: PremiumFeed, plan: FaultPlan,
+                 metrics=None) -> None:
         self._feed = feed
         self.plan = plan
         self._attempts: dict[int, int] = {}
@@ -47,6 +49,16 @@ class ChaosFeed:
         self.reports_lost_to_outage = 0
         self.transient_failures = 0
         self.outage_polls = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_drop = metrics.counter("faults.injected.total", kind="drop")
+        self._m_dup = metrics.counter(
+            "faults.injected.total", kind="duplicate")
+        self._m_corrupt = metrics.counter(
+            "faults.injected.total", kind="corrupt")
+        self._m_outage = metrics.counter(
+            "faults.injected.total", kind="outage_poll")
+        self._m_transient = metrics.counter(
+            "faults.injected.total", kind="transient")
 
     # Lifecycle / passthrough ------------------------------------------
 
@@ -95,11 +107,13 @@ class ChaosFeed:
         if self.plan.in_outage(minute):
             self.reports_lost_to_outage += self._feed.drop_before(until_minute)
             self.outage_polls += 1
+            self._m_outage.inc()
             raise ServiceUnavailableError(f"feed outage at minute {minute}")
         attempt = self._attempts.get(minute, 0)
         if self.plan.poll_fails(minute, attempt):
             self._attempts[minute] = attempt + 1
             self.transient_failures += 1
+            self._m_transient.inc()
             raise TransientError(f"feed poll failed at minute {minute}",
                                  status=429 if attempt == 0 else 500)
         self._attempts.pop(minute, None)
@@ -111,15 +125,18 @@ class ChaosFeed:
             sha, when = report.sha256, report.scan_time
             if self.plan.drops(sha, when):
                 self.reports_dropped += 1
+                self._m_drop.inc()
                 continue
             if self.plan.corrupts(sha, when):
                 self.reports_corrupted += 1
+                self._m_corrupt.inc()
                 out.append(corrupt_report(
                     report, self.plan.corruption_rng(sha, when)))
             else:
                 out.append(report)
             if self.plan.duplicates(sha, when):
                 self.reports_duplicated += 1
+                self._m_dup.inc()
                 out.append(report)
         return out
 
@@ -131,11 +148,15 @@ class ChaosStore:
     interposed; every other attribute delegates to the wrapped store.
     """
 
-    def __init__(self, store: ReportStore, plan: FaultPlan) -> None:
+    def __init__(self, store: ReportStore, plan: FaultPlan,
+                 metrics=None) -> None:
         self._store = store
         self.plan = plan
         self._attempts: dict[tuple[str, int], int] = {}
         self.write_failures = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_write_fail = metrics.counter(
+            "faults.injected.total", kind="store_write")
 
     def __getattr__(self, name: str):
         return getattr(self._store, name)
@@ -151,6 +172,7 @@ class ChaosStore:
                                        attempt):
             self._attempts[key] = attempt + 1
             self.write_failures += 1
+            self._m_write_fail.inc()
             raise TransientError(
                 f"store write failed for {report.sha256[:12]}@{report.scan_time}",
                 status=503,
@@ -162,12 +184,16 @@ class ChaosStore:
 class ChaosEndpoint:
     """One API endpoint with keyed transient failures in front of it."""
 
-    def __init__(self, endpoint, plan: FaultPlan, kind: str) -> None:
+    def __init__(self, endpoint, plan: FaultPlan, kind: str,
+                 metrics=None) -> None:
         self._endpoint = endpoint
         self.plan = plan
         self.kind = kind
         self._attempts: dict[object, int] = {}
         self.transient_failures = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_fail = metrics.counter(
+            "faults.injected.total", kind=f"api:{kind}")
 
     def __call__(self, *args, **kwargs):
         key = args[0] if args else None
@@ -175,6 +201,7 @@ class ChaosEndpoint:
         if self.plan.api_fails(self.kind, key, attempt):
             self._attempts[key] = attempt + 1
             self.transient_failures += 1
+            self._m_fail.inc()
             raise TransientError(f"{self.kind} call failed for {key!r}",
                                  status=500)
         self._attempts.pop(key, None)
@@ -188,11 +215,14 @@ class ChaosClient:
     the *collector's* failure domain, and the collector never submits.
     """
 
-    def __init__(self, client: VTClient, plan: FaultPlan) -> None:
+    def __init__(self, client: VTClient, plan: FaultPlan,
+                 metrics=None) -> None:
         self._client = client
         self.plan = plan
-        self.report = ChaosEndpoint(client.report, plan, "report")
-        self.feed_batch = ChaosEndpoint(client.feed_batch, plan, "feed_batch")
+        self.report = ChaosEndpoint(client.report, plan, "report",
+                                    metrics=metrics)
+        self.feed_batch = ChaosEndpoint(client.feed_batch, plan, "feed_batch",
+                                        metrics=metrics)
         self.upload = client.upload
         self.rescan = client.rescan
 
@@ -205,17 +235,20 @@ def chaos_wrap(
     store: ReportStore,
     client: VTClient | None,
     plan: FaultPlan | None,
+    metrics=None,
 ):
     """Interpose a fault plan, or return the originals untouched.
 
     Returns ``(feed, store, client)``.  A ``None`` or fully-disabled plan
     short-circuits to the unwrapped objects: no indirection, no per-call
-    checks — disabled fault injection costs nothing.
+    checks — disabled fault injection costs nothing.  ``metrics`` feeds
+    every injection into ``faults.injected.total{kind=...}``.
     """
     if plan is None or plan.disabled:
         return feed, store, client
     return (
-        ChaosFeed(feed, plan),
-        ChaosStore(store, plan),
-        ChaosClient(client, plan) if client is not None else None,
+        ChaosFeed(feed, plan, metrics=metrics),
+        ChaosStore(store, plan, metrics=metrics),
+        ChaosClient(client, plan, metrics=metrics)
+        if client is not None else None,
     )

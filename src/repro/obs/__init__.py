@@ -1,0 +1,105 @@
+"""``repro.obs`` — the unified observability layer.
+
+One :class:`~repro.obs.registry.MetricsRegistry` carries every counter,
+gauge, histogram and span timer a run records; exporters turn it into a
+JSONL dump, Prometheus text, or a human summary tree.  The registry is
+*process-wide but injectable*:
+
+* every instrumented component (``VirusTotalService``, ``ReportStore``,
+  ``FeedCollector``, the chaos wrappers, the parallel runner) accepts a
+  ``metrics=`` argument;
+* with no argument, components fall back to the process-wide registry —
+  which defaults to :data:`~repro.obs.registry.NULL_REGISTRY`, the
+  structurally zero-overhead null object, until :func:`enable` (or
+  :func:`set_registry`) swaps a live one in.
+
+Determinism contract: metrics recorded on the scenario hot path are
+*partition-invariant* (per-sample work — scans, reports, ingested
+records — never engine mechanics like poll cadence or pool fan-out), so
+a parallel run's merged shard registries export byte-identically to the
+serial run's registry.  ``tests/test_obs_golden.py`` gates this next to
+the store-digest equivalence gate.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    JSONL_SCHEMA,
+    jsonl_lines,
+    prometheus_text,
+    render_summary,
+    summary,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import (
+    DEFAULT_DURATION_EDGES,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+)
+from repro.obs.timing import (
+    NULL_SPAN,
+    MonotonicClock,
+    SimClock,
+    Span,
+    TickClock,
+    traced,
+)
+
+__all__ = [
+    "JSONL_SCHEMA",
+    "DEFAULT_DURATION_EDGES",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "MonotonicClock",
+    "NullRegistry",
+    "SimClock",
+    "Span",
+    "TickClock",
+    "enable",
+    "get_registry",
+    "jsonl_lines",
+    "prometheus_text",
+    "render_summary",
+    "set_registry",
+    "summary",
+    "traced",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+#: The process-wide registry; disabled (null) until :func:`enable`.
+_global_registry: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
+
+
+def get_registry() -> "MetricsRegistry | NullRegistry":
+    """The process-wide registry (the null object unless enabled)."""
+    return _global_registry
+
+
+def set_registry(registry) -> "MetricsRegistry | NullRegistry":
+    """Swap the process-wide registry; returns the previous one.
+
+    Pass :data:`NULL_REGISTRY` to disable observability again.
+    """
+    global _global_registry
+    previous = _global_registry
+    _global_registry = registry
+    return previous
+
+
+def enable(clock=None) -> MetricsRegistry:
+    """Install (and return) a fresh live process-wide registry."""
+    registry = MetricsRegistry(clock=clock)
+    set_registry(registry)
+    return registry

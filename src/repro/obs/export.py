@@ -1,0 +1,177 @@
+"""Exporters: JSONL metric dump, Prometheus text, human summary tree.
+
+All three render the same sorted series view
+(:meth:`~repro.obs.registry.MetricsRegistry.series`), so for a given
+registry content the output bytes are deterministic — the property the
+metric golden tests and the serial/parallel equivalence gate assert.
+
+* :func:`jsonl_lines` / :func:`write_jsonl` — one JSON object per
+  series, machine-diffable, the ``--metrics-out`` default;
+* :func:`prometheus_text` — the Prometheus exposition format (dots in
+  metric names become underscores), what CI uploads as an artifact;
+* :func:`summary` / :func:`render_summary` — a nested tree keyed by the
+  dotted name segments; the registry-wide successor of the per-subsystem
+  ``stats()`` dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: JSONL schema identifier, bumped on incompatible format changes.
+JSONL_SCHEMA = "repro-metrics/1"
+
+
+def _number(value: float):
+    """Canonical numeric form: integral floats degrade to int."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def _fmt(value: float) -> str:
+    """Deterministic text form of a metric value."""
+    return repr(_number(value))
+
+
+def jsonl_lines(registry) -> list[str]:
+    """One sorted JSON line per series (schema line first)."""
+    lines = [json.dumps({"schema": JSONL_SCHEMA},
+                        sort_keys=True, separators=(",", ":"))]
+    for kind, name, items, instrument in registry.series():
+        row = {"kind": kind, "name": name, "labels": dict(items)}
+        if kind == "histogram":
+            row["edges"] = [_number(e) for e in instrument.edges]
+            row["counts"] = list(instrument.counts)
+            row["sum"] = _number(instrument.sum)
+            row["count"] = instrument.count
+        else:
+            row["value"] = _number(instrument.value)
+        lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def write_jsonl(registry, path) -> Path:
+    """Write the JSONL export; returns the path written."""
+    path = Path(path)
+    path.write_text("\n".join(jsonl_lines(registry)) + "\n", encoding="utf-8")
+    return path
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(items) -> str:
+    if not items:
+        return ""
+    escaped = (
+        (k, v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"))
+        for k, v in items
+    )
+    return "{" + ",".join(f'{k}="{v}"' for k, v in escaped) + "}"
+
+
+def _prom_label_merge(items, extra: tuple[tuple[str, str], ...]) -> str:
+    return _prom_labels(tuple(sorted((*items, *extra))))
+
+
+def prometheus_text(registry) -> str:
+    """The registry in Prometheus text exposition format."""
+    out: list[str] = []
+    typed: set[str] = set()
+    for kind, name, items, instrument in registry.series():
+        pname = _prom_name(name)
+        if pname not in typed:
+            typed.add(pname)
+            out.append(f"# TYPE {pname} {kind}")
+        if kind == "histogram":
+            for edge, total in zip(instrument.edges, instrument.cumulative()):
+                out.append(
+                    f"{pname}_bucket"
+                    f"{_prom_label_merge(items, (('le', _fmt(edge)),))}"
+                    f" {total}")
+            out.append(f"{pname}_bucket"
+                       f"{_prom_label_merge(items, (('le', '+Inf'),))}"
+                       f" {instrument.count}")
+            out.append(f"{pname}_sum{_prom_labels(items)}"
+                       f" {_fmt(instrument.sum)}")
+            out.append(f"{pname}_count{_prom_labels(items)}"
+                       f" {instrument.count}")
+        else:
+            out.append(f"{pname}{_prom_labels(items)} {_fmt(instrument.value)}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+def write_prometheus(registry, path) -> Path:
+    """Write the Prometheus text export; returns the path written."""
+    path = Path(path)
+    path.write_text(prometheus_text(registry), encoding="utf-8")
+    return path
+
+
+def summary(registry) -> dict:
+    """A nested dict tree over the dotted metric names.
+
+    ``vt.scan.total{kind=upload}`` lands at ``tree["vt"]["scan"]
+    ["total"]["kind=upload"]``; unlabelled series store their value
+    directly at the name's leaf.  Histograms summarise to
+    ``{count, sum, mean}``.  This is the registry-wide replacement for
+    the ad-hoc per-subsystem ``stats()`` dictionaries.
+    """
+    tree: dict = {}
+    for kind, name, items, instrument in registry.series():
+        node = tree
+        parts = name.split(".")
+        for part in parts[:-1]:
+            nxt = node.get(part)
+            if not isinstance(nxt, dict):
+                nxt = node[part] = {} if nxt is None else {"value": nxt}
+            node = nxt
+        if kind == "histogram":
+            value = {
+                "count": instrument.count,
+                "sum": _number(instrument.sum),
+                "mean": _number(round(instrument.mean, 6)),
+            }
+        else:
+            value = _number(instrument.value)
+        leaf = parts[-1]
+        if items:
+            slot = node.setdefault(leaf, {})
+            if not isinstance(slot, dict):
+                slot = node[leaf] = {"value": slot}
+            slot[",".join(f"{k}={v}" for k, v in items)] = value
+        else:
+            existing = node.get(leaf)
+            if isinstance(existing, dict):
+                existing["value"] = value
+            else:
+                node[leaf] = value
+    return tree
+
+
+def render_summary(registry, indent: int = 2) -> str:
+    """The summary tree as indented text (the CLI's default view)."""
+
+    def walk(node: dict, depth: int, out: list[str]) -> None:
+        for key in node:
+            value = node[key]
+            pad = " " * (indent * depth)
+            if isinstance(value, dict) and not _is_histogram_leaf(value):
+                out.append(f"{pad}{key}")
+                walk(value, depth + 1, out)
+            elif isinstance(value, dict):
+                out.append(
+                    f"{pad}{key}  count={value['count']} "
+                    f"sum={value['sum']} mean={value['mean']}")
+            else:
+                out.append(f"{pad}{key}  {value}")
+
+    def _is_histogram_leaf(value: dict) -> bool:
+        return set(value) == {"count", "sum", "mean"}
+
+    lines: list[str] = []
+    walk(summary(registry), 0, lines)
+    return "\n".join(lines)

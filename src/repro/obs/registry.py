@@ -1,0 +1,361 @@
+"""The metrics registry: counters, gauges, histograms, span timers.
+
+One :class:`MetricsRegistry` is the observability spine of a run: every
+instrumented subsystem (service, store, collector, fault layer, parallel
+runner) records into the registry it was handed, and the exporters in
+:mod:`repro.obs.export` turn the registry into a JSONL dump, Prometheus
+text, or a human summary tree.
+
+Design constraints, in order:
+
+* **Determinism.**  A metric series is identified by ``(name, sorted
+  label items)``; histograms use *fixed* bucket edges declared at the
+  call site; exports are sorted.  Two runs that do the same work produce
+  byte-identical exports regardless of internal ordering — the property
+  the golden tests and the serial/parallel equivalence gate rely on.
+* **Mergeability.**  Parallel workers each record into their own
+  registry and ship a picklable :class:`MetricsSnapshot`; the parent
+  merges them with :meth:`MetricsRegistry.merge`.  Counter/histogram
+  merge is associative and commutative, so the merged registry of K
+  shard runs equals the serial run's registry whenever the recorded
+  metrics are partition-invariant (per-sample work, not engine
+  mechanics).
+* **Zero overhead when disabled.**  :data:`NULL_REGISTRY` follows the
+  same discipline as :func:`repro.faults.chaos_wrap`: it hands out
+  shared no-op instruments, so a disabled registry adds no allocation
+  and no branching beyond one no-op call on pre-bound handles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.obs.timing import NULL_SPAN, Clock, MonotonicClock, Span
+
+#: A series' labels, normalised: sorted tuple of (key, value) strings.
+LabelItems = tuple[tuple[str, str], ...]
+
+#: A full series identity: (metric name, normalised labels).
+SeriesKey = tuple[str, LabelItems]
+
+#: Default bucket edges (seconds) for span-timer histograms.
+DEFAULT_DURATION_EDGES: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def label_items(labels: dict) -> LabelItems:
+    """Normalise a label dict into the canonical sorted item tuple."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value.
+
+    On shard merge gauges are *summed* — a shard-local gauge must
+    therefore be meaningful as a sum (resident bytes, queue depth).
+    Whole-run gauges (final store accounting) are instead set once on
+    the parent registry after the merge, identically on the serial and
+    parallel paths.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-edge histogram with Prometheus ``le`` (inclusive) buckets.
+
+    ``counts[i]`` counts observations ``v <= edges[i]`` not already in a
+    lower bucket; ``counts[-1]`` is the overflow (+Inf) bucket.  Edges
+    are fixed at creation — deterministic bucketing is what lets golden
+    tests assert exact exported values.
+    """
+
+    __slots__ = ("edges", "counts", "sum", "count")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        edges = tuple(edges)
+        if not edges:
+            raise ConfigError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigError(
+                f"histogram edges must be strictly increasing: {edges}")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum: float = 0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Running bucket totals (the Prometheus ``le`` series)."""
+        totals, running = [], 0
+        for c in self.counts:
+            running += c
+            totals.append(running)
+        return totals
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsSnapshot:
+    """A picklable, merge-ready copy of a registry's contents.
+
+    This is what a parallel worker ships back to the driver: plain dicts
+    keyed by :data:`SeriesKey`, histograms flattened to
+    ``(edges, counts, sum, count)`` tuples.
+    """
+
+    counters: dict[SeriesKey, float] = field(default_factory=dict)
+    gauges: dict[SeriesKey, float] = field(default_factory=dict)
+    histograms: dict[SeriesKey, tuple] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Process-wide but injectable home for every metric of a run."""
+
+    enabled = True
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self._kinds: dict[str, str] = {}
+        self._counters: dict[SeriesKey, Counter] = {}
+        self._gauges: dict[SeriesKey, Gauge] = {}
+        self._histograms: dict[SeriesKey, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument creation (get-or-create; names own exactly one kind)
+    # ------------------------------------------------------------------
+
+    def _claim(self, kind: str, name: str) -> None:
+        existing = self._kinds.setdefault(name, kind)
+        if existing != kind:
+            raise ConfigError(
+                f"metric {name!r} is already registered as a {existing}, "
+                f"cannot re-register as a {kind}")
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._counter_at(name, label_items(labels))
+
+    def _counter_at(self, name: str, items: LabelItems) -> Counter:
+        self._claim("counter", name)
+        key = (name, items)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._gauge_at(name, label_items(labels))
+
+    def _gauge_at(self, name: str, items: LabelItems) -> Gauge:
+        self._claim("gauge", name)
+        key = (name, items)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  edges: tuple[float, ...] = DEFAULT_DURATION_EDGES,
+                  **labels) -> Histogram:
+        return self._histogram_at(name, label_items(labels), tuple(edges))
+
+    def _histogram_at(self, name: str, items: LabelItems,
+                      edges: tuple[float, ...]) -> Histogram:
+        self._claim("histogram", name)
+        key = (name, items)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(edges)
+        elif instrument.edges != edges:
+            raise ConfigError(
+                f"histogram {name!r} already exists with edges "
+                f"{instrument.edges}, cannot redeclare with {edges}")
+        return instrument
+
+    def span(self, name: str, edges: tuple[float, ...] = DEFAULT_DURATION_EDGES,
+             **labels) -> Span:
+        """A context manager timing its body into histogram ``name``.
+
+        Durations are read from the registry's clock: monotonic seconds
+        by default, deterministic ticks or simulated minutes when a
+        :class:`~repro.obs.timing.TickClock` / ``SimClock`` is injected.
+        """
+        return Span(self.histogram(name, edges=edges, **labels), self.clock)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A picklable copy of everything recorded so far."""
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in self._counters.items()},
+            gauges={k: g.value for k, g in self._gauges.items()},
+            histograms={
+                k: (h.edges, tuple(h.counts), h.sum, h.count)
+                for k, h in self._histograms.items()
+            },
+        )
+
+    def merge(self, other: "MetricsRegistry | MetricsSnapshot | None") -> "MetricsRegistry":
+        """Fold another registry (or worker snapshot) into this one.
+
+        Counters and histogram buckets add; gauges add too (see
+        :class:`Gauge` for the shard-merge convention).  Histograms must
+        agree on bucket edges.  Merging is associative and commutative,
+        so K shard registries fold into the parent in any order with the
+        same result — the property the parallel runner leans on and the
+        hypothesis suite locks down.
+        """
+        if other is None:
+            return self
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for (name, items), value in snap.counters.items():
+            self._counter_at(name, items).value += value
+        for (name, items), value in snap.gauges.items():
+            self._gauge_at(name, items).value += value
+        for (name, items), (edges, counts, total, count) in snap.histograms.items():
+            h = self._histogram_at(name, items, tuple(edges))
+            if len(h.counts) != len(counts):
+                raise ConfigError(
+                    f"histogram {name!r} bucket count mismatch on merge")
+            for i, c in enumerate(counts):
+                h.counts[i] += c
+            h.sum += total
+            h.count += count
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection (the exporters' feed)
+    # ------------------------------------------------------------------
+
+    def series(self):
+        """Every series as ``(kind, name, labels, instrument)``, sorted.
+
+        Sort order is ``(name, labels)`` — the single deterministic
+        ordering all exporters share.
+        """
+        rows = []
+        for (name, items), c in self._counters.items():
+            rows.append(("counter", name, items, c))
+        for (name, items), g in self._gauges.items():
+            rows.append(("gauge", name, items, g))
+        for (name, items), h in self._histograms.items():
+            rows.append(("histogram", name, items, h))
+        rows.sort(key=lambda row: (row[1], row[2]))
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def kind_of(self, name: str) -> str | None:
+        """The registered kind of a metric name (None if unknown)."""
+        return self._kinds.get(name)
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The disabled registry: every instrument is a shared no-op.
+
+    Same discipline as :func:`repro.faults.chaos_wrap`: instrumented
+    components pre-bind their handles once at construction, so with the
+    null registry the hot path pays exactly one no-op method call per
+    event — no allocation, no branching, no dict lookups.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, edges=DEFAULT_DURATION_EDGES,
+                  **labels) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def span(self, name: str, edges=DEFAULT_DURATION_EDGES, **labels):
+        return NULL_SPAN
+
+    def snapshot(self) -> None:
+        return None
+
+    def merge(self, other) -> "NullRegistry":
+        return self
+
+    def series(self):
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def kind_of(self, name: str) -> None:
+        return None
+
+
+#: The shared disabled registry — what components fall back to when no
+#: registry is injected and the process-wide one has not been enabled.
+NULL_REGISTRY = NullRegistry()

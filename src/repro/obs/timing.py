@@ -1,0 +1,130 @@
+"""Clocks and span timers for the observability layer.
+
+Span timing needs a *time source*, and the right source depends on what
+the caller is measuring:
+
+* :class:`MonotonicClock` — ``time.perf_counter``; wall-clock phase
+  profiling in production runs.  Durations are real but, by nature, not
+  reproducible.
+* :class:`TickClock` — a deterministic counter that advances a fixed
+  tick per reading.  Under test, every span's recorded duration becomes
+  a pure function of how many clock readings happened inside it, so
+  metric exports containing timer histograms are byte-reproducible.
+* :class:`SimClock` — reads simulated time from any object with a
+  ``now`` attribute (e.g. :class:`repro.vt.clock.SimulationClock`), so a
+  span's "duration" is measured in simulator minutes.  Deterministic by
+  construction, and the natural unit for pipeline latencies inside a
+  scenario run.
+
+A clock is just a zero-argument callable returning a float; anything
+matching that shape can be injected into a
+:class:`~repro.obs.registry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+
+class MonotonicClock:
+    """Wall time via ``time.perf_counter`` (the default clock)."""
+
+    __slots__ = ()
+
+    def __call__(self) -> float:
+        return time.perf_counter()
+
+
+class TickClock:
+    """A deterministic clock: each reading advances by a fixed tick.
+
+    Two runs that read the clock the same number of times see the same
+    timestamps, which makes span-duration histograms reproducible — the
+    "sim-clock mode" of the metric golden tests.
+    """
+
+    __slots__ = ("tick", "now")
+
+    def __init__(self, tick: float = 0.001, start: float = 0.0) -> None:
+        self.tick = tick
+        self.now = start
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.tick
+        return current
+
+
+class SimClock:
+    """Reads simulated time off a clock-like object's ``now`` attribute."""
+
+    __slots__ = ("source",)
+
+    def __init__(self, source) -> None:
+        self.source = source
+
+    def __call__(self) -> float:
+        return float(self.source.now)
+
+
+class Span:
+    """Context manager that times a region into a histogram."""
+
+    __slots__ = ("_histogram", "_clock", "_started")
+
+    def __init__(self, histogram, clock: Clock) -> None:
+        self._histogram = histogram
+        self._clock = clock
+        self._started: float | None = None
+
+    def __enter__(self) -> "Span":
+        self._started = self._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(self._clock() - self._started)
+
+
+class NullSpan:
+    """The no-op span a disabled registry hands out (one shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+def traced(name: str, registry=None, **labels):
+    """Decorator: time every call of the function as a registry span.
+
+    ``registry=None`` resolves the process-wide registry *at call time*
+    (:func:`repro.obs.get_registry`), so enabling observability later
+    retroactively lights up every ``@traced`` function; while the global
+    registry is the disabled null object, the wrapper costs one no-op
+    context manager per call.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            reg = registry
+            if reg is None:
+                from repro.obs import get_registry
+
+                reg = get_registry()
+            with reg.span(name, **labels):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -36,7 +36,7 @@ def fork_available() -> bool:
 
 
 def merge_shard_runs(
-    config: ScenarioConfig, runs: list[ShardRun]
+    config: ScenarioConfig, runs: list[ShardRun], metrics=None
 ) -> tuple[ReportStore, MergeStats]:
     """Merge worker results into one sealed store in serial ingest order.
 
@@ -66,13 +66,14 @@ def merge_shard_runs(
                    if config.store_cache_bytes is not None
                    else DEFAULT_CACHE_BYTES)
     return concat_frozen(sources, block_records=config.block_records,
-                         cache_bytes=cache_bytes)
+                         cache_bytes=cache_bytes, metrics=metrics)
 
 
 def run_parallel(
     config: ScenarioConfig,
     fleet: EngineFleet | None = None,
     workers: int = 2,
+    metrics=None,
 ):
     """Run one scenario across ``workers`` processes; returns the data.
 
@@ -81,21 +82,34 @@ def run_parallel(
     analysis pipeline needs a live service (the CLI's load-from-store
     path already runs without one).  Callers that need the service (e.g.
     the snapshot-campaign comparison) run serially.
+
+    With an enabled ``metrics`` registry each worker records into its
+    own registry and ships a snapshot; the snapshots are folded into
+    ``metrics`` in shard order and the merged store's whole-run gauges
+    are published, so the final export is byte-identical to a serial
+    run's (the metric side of the equivalence gate).
     """
     from repro.analysis.experiment import ExperimentData, run_experiment
 
     shards = [s for s in partition_samples(config.n_samples, workers)
               if s.size]
     if len(shards) <= 1 or not fork_available():
-        return run_experiment(config, fleet=fleet, workers=1)
+        return run_experiment(config, fleet=fleet, workers=1,
+                              metrics=metrics)
 
+    with_metrics = metrics is not None and metrics.enabled
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(processes=len(shards)) as pool:
-        runs = pool.map(_run_shard_task,
-                        [(config, shard, fleet) for shard in shards],
-                        chunksize=1)
+        runs = pool.map(
+            _run_shard_task,
+            [(config, shard, fleet, with_metrics) for shard in shards],
+            chunksize=1)
 
-    store, merge_stats = merge_shard_runs(config, runs)
+    if with_metrics:
+        for run in sorted(runs, key=lambda r: r.shard_index):
+            metrics.merge(run.metrics)
+    store, merge_stats = merge_shard_runs(config, runs, metrics=metrics)
+    store.publish_metrics()
     return ExperimentData(
         config=config,
         fleet=fleet if fleet is not None else default_fleet(config.seed),
@@ -104,4 +118,5 @@ def run_parallel(
         events_executed=sum(run.events_executed for run in runs),
         workers=len(shards),
         merge_stats=merge_stats,
+        metrics=metrics,
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import NULL_REGISTRY, MetricsRegistry, MetricsSnapshot
 from repro.parallel.sharding import ShardSpec
 from repro.store.reportstore import ReportStore
 from repro.store.shard import CompressedBlock
@@ -75,6 +76,10 @@ class ShardRun:
     sample_meta: dict[str, tuple[str, bool]]
     events_executed: int
     report_count: int
+    #: Snapshot of the worker's metrics registry (None when the driver
+    #: ran without observability).  Folded into the parent registry in
+    #: shard order; merge commutativity makes the order irrelevant.
+    metrics: MetricsSnapshot | None = None
 
 
 def execute_range(
@@ -83,6 +88,7 @@ def execute_range(
     stop: int,
     fleet: EngineFleet | None = None,
     collect_keys: bool = False,
+    metrics=None,
 ) -> RangeRun:
     """Generate, scan and store samples ``[start, stop)`` of the scenario.
 
@@ -91,16 +97,23 @@ def execute_range(
     happens at registration time, on the clone).  With ``collect_keys``
     the per-record merge keys are recorded alongside ingest — the worker
     path; the serial path skips the bookkeeping.
+
+    ``metrics`` is handed to the service and the store.  Everything this
+    loop records is per-sample work (partition-invariant), so the merged
+    registries of a sharded run reproduce the serial registry exactly.
     """
+    if metrics is None:
+        metrics = NULL_REGISTRY
     if fleet is None:
         fleet = default_fleet(config.seed)
     service = VirusTotalService(fleet=fleet, params=config.behavior,
-                                seed=config.seed)
+                                seed=config.seed, metrics=metrics)
     store_kwargs = {"block_records": config.block_records}
     if config.store_cache_bytes is not None:
         store_kwargs["cache_bytes"] = config.store_cache_bytes
-    store = ReportStore(**store_kwargs)
+    store = ReportStore(metrics=metrics, **store_kwargs)
     feed = PremiumFeed(service)
+    m_events = metrics.counter("run.events.total")
 
     generator = PopulationGenerator(config)
     samples = {}
@@ -126,6 +139,7 @@ def execute_range(
                 keys_by_month.setdefault(month_index(when), []).append(
                     (when, index))
             executed += 1
+            m_events.inc()
             if executed % FEED_DRAIN_EVERY == 0:
                 store.ingest_batch(feed.poll())
         store.ingest_batch(feed.poll())
@@ -139,10 +153,16 @@ def run_shard(
     config: ScenarioConfig,
     shard: ShardSpec,
     fleet: EngineFleet | None = None,
+    with_metrics: bool = False,
 ) -> ShardRun:
-    """Execute one shard and package the frozen store for the driver."""
+    """Execute one shard and package the frozen store for the driver.
+
+    With ``with_metrics`` the shard records into its own fresh registry
+    and ships the picklable snapshot back with the result.
+    """
+    registry = MetricsRegistry() if with_metrics else None
     run = execute_range(config, shard.start, shard.stop, fleet=fleet,
-                        collect_keys=True)
+                        collect_keys=True, metrics=registry)
     store = run.store
     months = {}
     for month, mshard in store.shards.items():
@@ -164,11 +184,12 @@ def run_shard(
         sample_meta=sample_meta,
         events_executed=run.events_executed,
         report_count=store.report_count,
+        metrics=registry.snapshot() if registry is not None else None,
     )
 
 
 def _run_shard_task(args: tuple[ScenarioConfig, ShardSpec,
-                                EngineFleet | None]) -> ShardRun:
+                                EngineFleet | None, bool]) -> ShardRun:
     """Module-level pool target (must be importable by worker processes)."""
-    config, shard, fleet = args
-    return run_shard(config, shard, fleet=fleet)
+    config, shard, fleet, with_metrics = args
+    return run_shard(config, shard, fleet=fleet, with_metrics=with_metrics)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import ConfigError
+from repro.obs import traced
 from repro.store.cache import DEFAULT_CACHE_BYTES
 from repro.store.reportstore import ReportStore
 from repro.store.shard import DEFAULT_BLOCK_RECORDS, CompressedBlock, MonthlyShard
@@ -148,10 +149,12 @@ class MergeStats:
     blocks_recompressed: int
 
 
+@traced("store.merge.seconds")
 def concat_frozen(
     sources: Sequence[FrozenShard],
     block_records: int = DEFAULT_BLOCK_RECORDS,
     cache_bytes: int = DEFAULT_CACHE_BYTES,
+    metrics=None,
 ) -> tuple[ReportStore, MergeStats]:
     """Merge frozen shards into one sealed store, in global key order.
 
@@ -161,7 +164,8 @@ def concat_frozen(
     identical per-month accounting, identical index — and therefore an
     identical canonical digest and an identical ``save()`` file.
     """
-    store = ReportStore(block_records=block_records, cache_bytes=cache_bytes)
+    store = ReportStore(block_records=block_records, cache_bytes=cache_bytes,
+                        metrics=metrics)
     months = sorted({m for src in sources for m in src.months})
     total_records = 0
     spliced = decompressed = recompressed = 0

@@ -32,17 +32,21 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.errors import CorruptRecordError, ShardClosedError, UnknownSampleError
+from repro.obs import NULL_REGISTRY, traced
 from repro.store import codec
 from repro.store.cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats
 from repro.store.shard import DEFAULT_BLOCK_RECORDS, CompressedBlock, MonthlyShard
 from repro.store.stats import StoreStats, compute_store_stats
-from repro.vt.clock import month_index
+from repro.vt.clock import month_index, month_label
 from repro.vt.reports import ScanReport
 
 _FILE_MAGIC = b"RPRSTORE"
 _FILE_VERSION = 1
 
 Address = tuple[int, int, int]  # (month, block, slot)
+
+#: Fixed bucket edges (bytes) for the encoded-record-size histogram.
+RECORD_BYTES_EDGES: tuple[int, ...] = (64, 128, 192, 256, 384, 512, 1024, 2048)
 
 
 class ReportStore:
@@ -52,6 +56,7 @@ class ReportStore:
         self,
         block_records: int = DEFAULT_BLOCK_RECORDS,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        metrics=None,
     ) -> None:
         self.block_records = block_records
         self.shards: dict[int, MonthlyShard] = {}
@@ -63,6 +68,17 @@ class ReportStore:
         self._open_reads = 0
         self._peak_stream_reports = 0
         self.closed = False
+        # Observability: pre-bound handles (no-ops on the null registry).
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_ingest_bytes = self.metrics.counter("store.ingest.bytes")
+        self._m_record_bytes = self.metrics.histogram(
+            "store.ingest.record_bytes", edges=RECORD_BYTES_EDGES)
+        self._m_duplicates = self.metrics.counter("store.ingest.duplicates")
+        self._m_cache_hits = self.metrics.counter("store.cache.hits")
+        self._m_cache_misses = self.metrics.counter("store.cache.misses")
+        self._m_open_reads = self.metrics.counter("store.cache.open_reads")
+        self._m_decoded = self.metrics.counter("store.cache.decoded_blocks")
+        self._m_month_records: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Ingest
@@ -79,6 +95,13 @@ class ReportStore:
             self.shards[month] = shard
         record = codec.encode_report(report)
         block, slot = shard.append(record, codec.verbose_json_size(report))
+        self._m_ingest_bytes.inc(len(record))
+        self._m_record_bytes.observe(len(record))
+        month_counter = self._m_month_records.get(month)
+        if month_counter is None:
+            month_counter = self._m_month_records[month] = self.metrics.counter(
+                "store.ingest.records", month=month_label(month))
+        month_counter.inc()
         # The open buffer is never cached, so this is a no-op today; it
         # pins the invalidation contract (any mutation of block `block`
         # must drop a cached decode of it) independent of cache policy.
@@ -110,6 +133,7 @@ class ReportStore:
         collectors rely on so replays never double-count.
         """
         if self.has_report(report.sha256, report.scan_time):
+            self._m_duplicates.inc()
             return False
         self.ingest(report)
         return True
@@ -224,13 +248,18 @@ class ReportStore:
         shard = self.shards[month]
         if block_idx >= len(shard.blocks):
             self._open_reads += 1
+            self._m_open_reads.inc()
             return shard.block_records_at(block_idx)
         key = (month, block_idx)
         records = self._cache.get(key)
         if records is None:
             records = shard.blocks[block_idx].records()
             self._blocks_decoded += 1
+            self._m_cache_misses.inc()
+            self._m_decoded.inc()
             self._cache.put(key, records)
+        else:
+            self._m_cache_hits.inc()
         return records
 
     def reports_for(self, sha256: str) -> list[ScanReport]:
@@ -256,6 +285,7 @@ class ReportStore:
         for month in sorted(self.shards):
             for _, records in self.shards[month].iter_record_blocks():
                 self._blocks_decoded += 1
+                self._m_decoded.inc()
                 for record in records:
                     yield codec.decode_report(record)
 
@@ -281,6 +311,7 @@ class ReportStore:
         for month in sorted(self.shards):
             for block_idx, records in self.shards[month].iter_record_blocks():
                 self._blocks_decoded += 1
+                self._m_decoded.inc()
                 for record in records:
                     report = codec.decode_report(record)
                     pending.setdefault(report.sha256, []).append(report)
@@ -317,10 +348,42 @@ class ReportStore:
             peak_stream_reports=self._peak_stream_reports,
         )
 
+    def publish_metrics(self, registry=None) -> None:
+        """Set whole-store gauges on ``registry`` (default: own registry).
+
+        Unlike the hot-path counters, these describe the store's *final*
+        state, so they are published once after all ingest/merge work —
+        identically on the serial and parallel paths, whose stores are
+        digest-equal by the equivalence gate.
+        """
+        registry = registry if registry is not None else self.metrics
+        if not registry.enabled:
+            return
+        stats = self.stats()
+        registry.gauge("store.reports").set(stats.total_reports)
+        registry.gauge("store.samples").set(stats.total_samples)
+        registry.gauge("store.fresh_samples").set(stats.fresh_samples)
+        registry.gauge("store.blocks").set(
+            sum(len(s.blocks) for s in self.shards.values()))
+        registry.gauge("store.bytes.verbose").set(stats.verbose_bytes)
+        registry.gauge("store.bytes.compressed").set(stats.compressed_bytes)
+        registry.gauge("store.bytes.buffered").set(stats.buffered_bytes)
+        for row in stats.months:
+            if row.report_count:
+                registry.gauge(
+                    "store.month.reports", month=row.label
+                ).set(row.report_count)
+        cache = stats.cache
+        registry.gauge("store.cache.bytes_resident").set(cache.bytes_resident)
+        registry.gauge("store.cache.entries").set(cache.entries)
+        registry.gauge("store.cache.peak_stream_reports").set(
+            cache.peak_stream_reports)
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
+    @traced("store.save.seconds")
     def save(self, path: str | Path) -> None:
         """Write the store to a single self-describing file.
 
@@ -336,6 +399,19 @@ class ReportStore:
             "version": _FILE_VERSION,
             "block_records": self.block_records,
             "months": sorted(self.shards),
+            # Retrieval-layer counters ride along so a save()+reopen
+            # cycle doesn't silently zero the instrumentation (they used
+            # to reset, making long-lived collector restarts look like
+            # cold caches).  Old files simply lack the key.
+            "retrieval_counters": {
+                "hits": self._cache.hits,
+                "misses": self._cache.misses,
+                "evictions": self._cache.evictions,
+                "invalidations": self._cache.invalidations,
+                "blocks_decoded": self._blocks_decoded,
+                "open_reads": self._open_reads,
+                "peak_stream_reports": self._peak_stream_reports,
+            },
         }
         with path.open("wb") as fh:
             fh.write(_FILE_MAGIC)
@@ -357,7 +433,9 @@ class ReportStore:
                     fh.write(block.payload)
 
     @classmethod
-    def load(cls, path: str | Path, *, reopen: bool = False) -> "ReportStore":
+    @traced("store.load.seconds")
+    def load(cls, path: str | Path, *, reopen: bool = False,
+             metrics=None) -> "ReportStore":
         """Reload a store written by :meth:`save`, rebuilding the index.
 
         By default the loaded store is sealed (analysis use).  With
@@ -376,7 +454,18 @@ class ReportStore:
                 raise CorruptRecordError(
                     f"unsupported store version {header['version']}"
                 )
-            store = cls(block_records=header["block_records"])
+            store = cls(block_records=header["block_records"],
+                        metrics=metrics)
+            counters = header.get("retrieval_counters")
+            if counters:
+                store._cache.hits = counters.get("hits", 0)
+                store._cache.misses = counters.get("misses", 0)
+                store._cache.evictions = counters.get("evictions", 0)
+                store._cache.invalidations = counters.get("invalidations", 0)
+                store._blocks_decoded = counters.get("blocks_decoded", 0)
+                store._open_reads = counters.get("open_reads", 0)
+                store._peak_stream_reports = counters.get(
+                    "peak_stream_reports", 0)
             for _ in header["months"]:
                 month, n_blocks, report_count, verbose, encoded = struct.unpack(
                     "<iIqqq", fh.read(struct.calcsize("<iIqqq"))

@@ -26,12 +26,25 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.errors import NotFoundError
+from repro.obs import NULL_REGISTRY
 from repro.vt.behavior import BehaviorContext, BehaviorParams, build_plan
+from repro.vt.clock import MINUTES_PER_DAY
 from repro.vt.engines import EngineFleet, default_fleet
 from repro.vt.reports import ScanReport
 from repro.vt.samples import Sample, validate_sha256
 
 ReportListener = Callable[[ScanReport], None]
+
+#: Fixed bucket edges for the per-report positives (AV-Rank) histogram.
+POSITIVES_EDGES: tuple[int, ...] = (0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 70)
+
+#: Fixed bucket edges (simulator minutes) for the interval between
+#: consecutive analyses of one sample — the paper's rescan-latency axis.
+RESCAN_INTERVAL_EDGES: tuple[int, ...] = (
+    60, 6 * 60, MINUTES_PER_DAY, 3 * MINUTES_PER_DAY, 7 * MINUTES_PER_DAY,
+    14 * MINUTES_PER_DAY, 30 * MINUTES_PER_DAY, 90 * MINUTES_PER_DAY,
+    180 * MINUTES_PER_DAY,
+)
 
 
 class VirusTotalService:
@@ -45,6 +58,7 @@ class VirusTotalService:
         fleet: EngineFleet | None = None,
         params: BehaviorParams | None = None,
         seed: int = 0,
+        metrics=None,
     ) -> None:
         self.fleet = fleet if fleet is not None else default_fleet(seed)
         self.params = params if params is not None else BehaviorParams()
@@ -54,6 +68,18 @@ class VirusTotalService:
         self._last_report: dict[str, ScanReport] = {}
         self._listeners: list[ReportListener] = []
         self.reports_generated = 0
+        # Observability: pre-bound handles (no-ops on the null registry).
+        # Everything recorded here is per-sample work, so a sharded run's
+        # merged registries reproduce a serial run's exactly.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_register = self.metrics.counter("vt.register.total")
+        self._m_upload = self.metrics.counter("vt.scan.total", kind="upload")
+        self._m_rescan = self.metrics.counter("vt.scan.total", kind="rescan")
+        self._m_reports = self.metrics.counter("vt.report.total")
+        self._m_positives = self.metrics.histogram(
+            "vt.report.positives", edges=POSITIVES_EDGES)
+        self._m_interval = self.metrics.histogram(
+            "vt.rescan.interval_minutes", edges=RESCAN_INTERVAL_EDGES)
 
     # ------------------------------------------------------------------
     # Registry
@@ -74,6 +100,8 @@ class VirusTotalService:
                 and sample.last_submission_date is None):
             sample.times_submitted = 1
             sample.last_submission_date = sample.first_seen
+        if sample.sha256 not in self._samples:
+            self._m_register.inc()
         self._samples[sample.sha256] = sample
 
     def known(self, sha256: str) -> bool:
@@ -138,6 +166,7 @@ class VirusTotalService:
                 labels[idx] = 1
                 positives += 1
         versions = tuple(fleet.version_at(i, timestamp) for i in range(n))
+        previous_analysis = sample.last_analysis_date
         sample.record_analysis(timestamp)
         report = ScanReport(
             sha256=sample.sha256,
@@ -158,6 +187,10 @@ class VirusTotalService:
         )
         self._last_report[sample.sha256] = report
         self.reports_generated += 1
+        self._m_reports.inc()
+        self._m_positives.observe(positives)
+        if previous_analysis is not None:
+            self._m_interval.observe(timestamp - previous_analysis)
         self._emit(report)
         return report
 
@@ -184,10 +217,12 @@ class VirusTotalService:
         elif sample.sha256 not in self._samples:
             self.register(sample)
         sample.record_submission(timestamp)
+        self._m_upload.inc()
         return self._analyze(sample, timestamp)
 
     def rescan(self, sha256: str, timestamp: int) -> ScanReport:
         """Re-analyse an existing file: only last_analysis_date moves."""
+        self._m_rescan.inc()
         return self._analyze(self.get_sample(sha256), timestamp)
 
     def report(self, sha256: str) -> ScanReport:

@@ -21,6 +21,37 @@ def fleet() -> EngineFleet:
 
 
 @pytest.fixture(scope="session")
+def tiny_config() -> ScenarioConfig:
+    """The canonical tiny scenario the equivalence gates share."""
+    return tiny_scenario(n_samples=150, seed=13)
+
+
+@pytest.fixture(scope="session")
+def tiny_serial(tiny_config) -> ExperimentData:
+    """One serial run of ``tiny_config`` — the reference side of the
+    serial/parallel digest and metrics gates."""
+    return run_experiment(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_store(tiny_serial):
+    """The serial reference store for ``tiny_config``."""
+    return tiny_serial.store
+
+
+@pytest.fixture(scope="session")
+def tiny_config_factory():
+    """Builder for ad-hoc tiny scenarios (determinism/property tests)."""
+    return tiny_scenario
+
+
+@pytest.fixture(scope="session")
+def chaos_config() -> ScenarioConfig:
+    """The mini-scenario the chaos acceptance suite replays."""
+    return tiny_scenario(n_samples=600, seed=3)
+
+
+@pytest.fixture(scope="session")
 def experiment() -> ExperimentData:
     """A small but analysable dynamics-scenario run."""
     return run_experiment(tiny_scenario(n_samples=900, seed=7))

@@ -12,7 +12,6 @@ import pytest
 
 from repro.collect import auto_resume_minute, run_collection
 from repro.faults import FaultPlan, OutageWindow
-from repro.synth.scenario import tiny_scenario
 from repro.vt.clock import MINUTES_PER_DAY
 
 #: Simulation horizon: long enough for rescans and a mid-run outage,
@@ -30,23 +29,19 @@ PLAN = FaultPlan(
 )
 
 
-def _config():
-    return tiny_scenario(n_samples=600, seed=3)
-
-
 def _series(store):
     return {sha: tuple((r.scan_time, r.positives, r.labels) for r in reports)
             for sha, reports in store.iter_sample_reports()}
 
 
 @pytest.fixture(scope="module")
-def clean():
-    return run_collection(_config(), until_minute=UNTIL)
+def clean(chaos_config):
+    return run_collection(chaos_config, until_minute=UNTIL)
 
 
 @pytest.fixture(scope="module")
-def chaos():
-    return run_collection(_config(), plan=PLAN, until_minute=UNTIL)
+def chaos(chaos_config):
+    return run_collection(chaos_config, plan=PLAN, until_minute=UNTIL)
 
 
 class TestCleanBaseline:
@@ -58,12 +53,12 @@ class TestCleanBaseline:
         assert stats.dead_letters == 0
         assert stats.pending_gap_minutes == 0
 
-    def test_matches_direct_feed_drain(self, clean):
+    def test_matches_direct_feed_drain(self, clean, chaos_config):
         # The resilient pipeline is a superset of the plain experiment
         # loop; with no faults their datasets must coincide.
         from repro.analysis.experiment import run_experiment
 
-        data = run_experiment(_config())
+        data = run_experiment(chaos_config)
         full = _series(data.store)
         truncated = {}
         for sha, series in full.items():
@@ -97,8 +92,8 @@ class TestChaosRun:
     def test_no_unrecovered_gaps(self, chaos):
         assert chaos.stats.pending_gap_minutes == 0
 
-    def test_chaos_is_deterministic(self, chaos):
-        again = run_collection(_config(), plan=PLAN, until_minute=UNTIL)
+    def test_chaos_is_deterministic(self, chaos, chaos_config):
+        again = run_collection(chaos_config, plan=PLAN, until_minute=UNTIL)
         assert _series(again.store) == _series(chaos.store)
         first, second = chaos.chaos_feed, again.chaos_feed
         assert first.reports_corrupted == second.reports_corrupted
@@ -107,19 +102,20 @@ class TestChaosRun:
 
 
 class TestCrashResume:
-    def test_crash_then_resume_converges_exactly(self, clean, tmp_path):
+    def test_crash_then_resume_converges_exactly(self, clean, chaos_config,
+                                                 tmp_path):
         # Crash mid-run, off the checkpoint cadence, inside nothing
         # special — then resume strictly *after* the crash point so the
         # collector must detect the jump gap and backfill it.
         crash_at = 20 * MINUTES_PER_DAY + 700
-        crashed = run_collection(_config(), plan=PLAN, out_dir=tmp_path,
+        crashed = run_collection(chaos_config, plan=PLAN, out_dir=tmp_path,
                                  stop_at=crash_at, until_minute=UNTIL)
         assert crashed.crashed
         assert crashed.stats.checkpoint_saves > 0
 
         resume_at = auto_resume_minute(tmp_path)
         assert resume_at <= crash_at + 1
-        resumed = run_collection(_config(), plan=PLAN, out_dir=tmp_path,
+        resumed = run_collection(chaos_config, plan=PLAN, out_dir=tmp_path,
                                  resume_from=crash_at + 1, until_minute=UNTIL)
         stats = resumed.stats
         assert stats.resumes == 1
@@ -128,19 +124,20 @@ class TestCrashResume:
         assert resumed.store.report_count == clean.store.report_count
         assert _series(resumed.store) == _series(clean.store)
 
-    def test_resume_without_checkpoint_raises(self, tmp_path):
+    def test_resume_without_checkpoint_raises(self, chaos_config, tmp_path):
         from repro.errors import CheckpointError
 
         with pytest.raises(CheckpointError):
-            run_collection(_config(), out_dir=tmp_path, resume_from=100,
+            run_collection(chaos_config, out_dir=tmp_path, resume_from=100,
                            until_minute=UNTIL)
 
 
 class TestLossAccounting:
-    def test_silent_drops_are_exactly_counted(self, clean):
+    def test_silent_drops_are_exactly_counted(self, clean, chaos_config):
         # Drops are unrecoverable by design; the chaos layer's counter
         # must reconcile the loss to the report.
-        dropped = run_collection(_config(), plan=FaultPlan(seed=11, drop_rate=0.3),
+        dropped = run_collection(chaos_config,
+                                 plan=FaultPlan(seed=11, drop_rate=0.3),
                                  until_minute=UNTIL)
         lost = clean.store.report_count - dropped.store.report_count
         assert lost == dropped.chaos_feed.reports_dropped

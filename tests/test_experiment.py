@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.experiment import run_experiment
-from repro.synth.scenario import ScenarioConfig, tiny_scenario
 from repro.vt.clock import WINDOW_MINUTES, month_index
 
 
@@ -45,18 +44,18 @@ class TestRun:
 
 
 class TestDeterminism:
-    def test_same_seed_same_reports(self):
-        a = run_experiment(tiny_scenario(n_samples=60, seed=13))
-        b = run_experiment(tiny_scenario(n_samples=60, seed=13))
+    def test_same_seed_same_reports(self, tiny_config_factory):
+        a = run_experiment(tiny_config_factory(n_samples=60, seed=13))
+        b = run_experiment(tiny_config_factory(n_samples=60, seed=13))
         ra = [(r.sha256, r.scan_time, r.positives)
               for r in a.store.iter_reports()]
         rb = [(r.sha256, r.scan_time, r.positives)
               for r in b.store.iter_reports()]
         assert ra == rb
 
-    def test_different_seed_differs(self):
-        a = run_experiment(tiny_scenario(n_samples=60, seed=13))
-        c = run_experiment(tiny_scenario(n_samples=60, seed=14))
+    def test_different_seed_differs(self, tiny_config_factory):
+        a = run_experiment(tiny_config_factory(n_samples=60, seed=13))
+        c = run_experiment(tiny_config_factory(n_samples=60, seed=14))
         ra = {r.sha256 for r in a.store.iter_reports()}
         rc = {r.sha256 for r in c.store.iter_reports()}
         assert ra != rc

@@ -1,0 +1,398 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Registry semantics, clocks and spans, the null-object surface, and the
+exporters' rendering rules — everything the golden and property suites
+build on, tested in isolation.
+"""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import ConfigError
+from repro.obs import (
+    DEFAULT_DURATION_EDGES,
+    JSONL_SCHEMA,
+    NULL_REGISTRY,
+    NULL_SPAN,
+    MetricsRegistry,
+    MetricsSnapshot,
+    MonotonicClock,
+    NullRegistry,
+    SimClock,
+    TickClock,
+    jsonl_lines,
+    prometheus_text,
+    render_summary,
+    summary,
+    traced,
+    write_jsonl,
+    write_prometheus,
+)
+
+
+# ----------------------------------------------------------------------
+# Registry instruments
+# ----------------------------------------------------------------------
+
+
+class TestCounters:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.total") is reg.counter("a.total")
+        assert reg.counter("a.total", kind="x") is not reg.counter("a.total")
+
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("a.total")
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_label_order_is_normalised(self):
+        reg = MetricsRegistry()
+        assert (reg.counter("a.total", x="1", y="2")
+                is reg.counter("a.total", y="2", x="1"))
+
+    def test_label_values_stringified(self):
+        reg = MetricsRegistry()
+        assert (reg.counter("a.total", month=3)
+                is reg.counter("a.total", month="3"))
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+
+class TestHistograms:
+    def test_bucketing_is_le_inclusive(self):
+        h = MetricsRegistry().histogram("h", edges=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 99.0):
+            h.observe(v)
+        assert h.counts == [2, 2, 1]  # <=1, <=2, +Inf
+        assert h.count == 5
+        assert h.sum == pytest.approx(104.0)
+        assert h.cumulative() == [2, 4, 5]
+
+    def test_mean_of_empty_is_zero(self):
+        assert MetricsRegistry().histogram("h", edges=(1.0,)).mean == 0.0
+
+    def test_rejects_bad_edges(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.histogram("h", edges=())
+        with pytest.raises(ConfigError):
+            reg.histogram("h2", edges=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            reg.histogram("h3", edges=(1.0, 1.0))
+
+    def test_redeclare_with_other_edges_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ConfigError):
+            reg.histogram("h", edges=(1.0, 3.0))
+
+    def test_default_edges_are_durations(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.edges == DEFAULT_DURATION_EDGES
+
+
+class TestKindDiscipline:
+    def test_name_owns_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ConfigError):
+            reg.gauge("a")
+        with pytest.raises(ConfigError):
+            reg.histogram("a", edges=(1.0,))
+        assert reg.kind_of("a") == "counter"
+        assert reg.kind_of("nope") is None
+
+    def test_len_counts_series_not_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a", k="1")
+        reg.counter("a", k="2")
+        reg.gauge("g")
+        assert len(reg) == 3
+
+
+# ----------------------------------------------------------------------
+# Clocks, spans, @traced
+# ----------------------------------------------------------------------
+
+
+class TestClocks:
+    def test_monotonic_advances(self):
+        clock = MonotonicClock()
+        assert clock() <= clock()
+
+    def test_tick_clock_is_deterministic(self):
+        clock = TickClock(tick=0.5, start=1.0)
+        assert [clock() for _ in range(3)] == [1.0, 1.5, 2.0]
+
+    def test_sim_clock_reads_now(self):
+        class Source:
+            now = 42
+
+        assert SimClock(Source())() == 42.0
+
+
+class TestSpans:
+    def test_span_observes_clock_delta(self):
+        reg = MetricsRegistry(clock=TickClock(tick=1.0))
+        with reg.span("s", edges=(0.5, 1.5)):
+            pass
+        h = reg.histogram("s", edges=(0.5, 1.5))
+        assert h.count == 1
+        assert h.sum == 1.0  # exactly one tick elapsed
+        assert h.counts == [0, 1, 0]
+
+    def test_span_records_on_exception(self):
+        reg = MetricsRegistry(clock=TickClock())
+        with pytest.raises(ValueError):
+            with reg.span("s"):
+                raise ValueError("boom")
+        assert reg.histogram("s").count == 1
+
+    def test_traced_uses_global_registry_at_call_time(self):
+        @traced("fn.seconds")
+        def fn(x):
+            return x * 2
+
+        assert fn(2) == 4  # global registry is the null object: no-op
+        live = MetricsRegistry(clock=TickClock())
+        previous = obs.set_registry(live)
+        try:
+            assert fn(3) == 6
+        finally:
+            obs.set_registry(previous)
+        assert live.histogram("fn.seconds").count == 1
+
+    def test_traced_with_explicit_registry(self):
+        reg = MetricsRegistry(clock=TickClock())
+
+        @traced("fn.seconds", registry=reg, phase="x")
+        def fn():
+            return 1
+
+        fn()
+        fn()
+        assert reg.histogram("fn.seconds", phase="x").count == 2
+
+    def test_enable_installs_then_null_disables(self):
+        previous = obs.get_registry()
+        live = obs.enable()
+        try:
+            assert obs.get_registry() is live
+            assert live.enabled
+        finally:
+            obs.set_registry(previous)
+        assert obs.get_registry() is previous
+
+
+class TestNullRegistry:
+    def test_shared_noop_instruments(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+        assert NULL_REGISTRY.span("a") is NULL_SPAN
+
+    def test_noop_surface(self):
+        NULL_REGISTRY.counter("a").inc(5)
+        NULL_REGISTRY.gauge("a").set(5)
+        NULL_REGISTRY.gauge("a").add(5)
+        NULL_REGISTRY.histogram("a").observe(5)
+        with NULL_REGISTRY.span("a"):
+            pass
+        assert NULL_REGISTRY.snapshot() is None
+        assert NULL_REGISTRY.merge(MetricsRegistry()) is NULL_REGISTRY
+        assert NULL_REGISTRY.series() == []
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.kind_of("a") is None
+        assert not NULL_REGISTRY.enabled
+        assert not NullRegistry().enabled
+
+
+# ----------------------------------------------------------------------
+# Snapshot / merge
+# ----------------------------------------------------------------------
+
+
+class TestMerge:
+    def test_merge_none_is_identity(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        assert reg.merge(None) is reg
+        assert reg.counter("a").value == 1
+
+    def test_merge_registry_and_snapshot_agree(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("c", k="1").inc(3)
+            reg.gauge("g").set(2)
+            reg.histogram("h", edges=(1.0, 2.0)).observe(1.5)
+            return reg
+
+        via_registry = MetricsRegistry().merge(build())
+        via_snapshot = MetricsRegistry().merge(build().snapshot())
+        assert jsonl_lines(via_registry) == jsonl_lines(via_snapshot)
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.histogram("h", edges=(1.0,)).observe(0.5)
+        b.histogram("h", edges=(1.0,)).observe(5.0)
+        a.merge(b)
+        assert a.counter("c").value == 5
+        h = a.histogram("h", edges=(1.0,))
+        assert h.counts == [1, 1]
+        assert h.count == 2
+
+    def test_merge_sums_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(10)
+        b.gauge("g").set(5)
+        assert a.merge(b).gauge("g").value == 15
+
+    def test_merge_rejects_edge_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", edges=(1.0, 2.0)).observe(1)
+        b.histogram("h", edges=(9.0,)).observe(1)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.snapshot()
+        reg.counter("c").inc()
+        assert snap.counters[("c", ())] == 1
+        assert isinstance(snap, MetricsSnapshot)
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def loaded_registry():
+    reg = MetricsRegistry()
+    reg.counter("run.events.total").inc(7)
+    reg.counter("vt.scan.total", kind="upload").inc(2)
+    reg.counter("vt.scan.total", kind="rescan").inc(5)
+    reg.gauge("store.reports").set(7)
+    h = reg.histogram("vt.positives", edges=(0.0, 2.0, 5.0))
+    for v in (0, 1, 3, 9):
+        h.observe(v)
+    return reg
+
+
+class TestJsonl:
+    def test_schema_line_first(self, loaded_registry):
+        lines = jsonl_lines(loaded_registry)
+        assert json.loads(lines[0]) == {"schema": JSONL_SCHEMA}
+
+    def test_every_line_parses_and_is_sorted(self, loaded_registry):
+        rows = [json.loads(line) for line in jsonl_lines(loaded_registry)[1:]]
+        keys = [(r["name"], tuple(sorted(r["labels"].items())))
+                for r in rows]
+        assert keys == sorted(keys)
+
+    def test_histogram_row_shape(self, loaded_registry):
+        rows = [json.loads(line) for line in jsonl_lines(loaded_registry)[1:]]
+        hist = next(r for r in rows if r["kind"] == "histogram")
+        assert hist["edges"] == [0, 2, 5]
+        assert hist["counts"] == [1, 1, 1, 1]
+        assert hist["count"] == 4
+        assert hist["sum"] == 13
+
+    def test_integral_floats_degrade_to_int(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3.0)
+        row = json.loads(jsonl_lines(reg)[1])
+        assert row["value"] == 3
+        assert "3.0" not in jsonl_lines(reg)[1]
+
+    def test_empty_registry(self):
+        assert len(jsonl_lines(MetricsRegistry())) == 1
+        assert jsonl_lines(NULL_REGISTRY) == jsonl_lines(MetricsRegistry())
+
+    def test_write_jsonl(self, loaded_registry, tmp_path):
+        path = write_jsonl(loaded_registry, tmp_path / "m.jsonl")
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.rstrip("\n").split("\n") == jsonl_lines(loaded_registry)
+
+
+class TestPrometheus:
+    def test_type_lines_and_underscores(self, loaded_registry):
+        text = prometheus_text(loaded_registry)
+        assert "# TYPE run_events_total counter" in text
+        assert "# TYPE vt_positives histogram" in text
+        assert "." not in text.replace(".0", "")  # dots only in numbers
+
+    def test_labels_rendered(self, loaded_registry):
+        text = prometheus_text(loaded_registry)
+        assert 'vt_scan_total{kind="upload"} 2' in text
+        assert 'vt_scan_total{kind="rescan"} 5' in text
+
+    def test_histogram_buckets_cumulative(self, loaded_registry):
+        text = prometheus_text(loaded_registry)
+        assert 'vt_positives_bucket{le="0"} 1' in text
+        assert 'vt_positives_bucket{le="2"} 2' in text
+        assert 'vt_positives_bucket{le="5"} 3' in text
+        assert 'vt_positives_bucket{le="+Inf"} 4' in text
+        assert "vt_positives_sum 13" in text
+        assert "vt_positives_count 4" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c\nd').inc()
+        text = prometheus_text(reg)
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_empty_registry_is_empty_string(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_prometheus(self, loaded_registry, tmp_path):
+        path = write_prometheus(loaded_registry, tmp_path / "m.prom")
+        assert path.read_text() == prometheus_text(loaded_registry)
+
+
+class TestSummary:
+    def test_tree_layout(self, loaded_registry):
+        tree = summary(loaded_registry)
+        assert tree["run"]["events"]["total"] == 7
+        assert tree["vt"]["scan"]["total"] == {
+            "kind=upload": 2, "kind=rescan": 5}
+        assert tree["store"]["reports"] == 7
+        assert tree["vt"]["positives"] == {
+            "count": 4, "sum": 13, "mean": 3.25}
+
+    def test_leaf_and_subtree_name_collision(self):
+        reg = MetricsRegistry()
+        reg.gauge("store.cache").set(1)
+        reg.gauge("store.cache.entries").set(9)
+        tree = summary(reg)
+        assert tree["store"]["cache"]["value"] == 1
+        assert tree["store"]["cache"]["entries"] == 9
+
+    def test_render_summary_lines(self, loaded_registry):
+        text = render_summary(loaded_registry)
+        assert "run\n  events\n    total  7" in text
+        assert "positives  count=4 sum=13 mean=3.25" in text
+
+    def test_render_summary_empty(self):
+        assert render_summary(MetricsRegistry()) == ""

@@ -1,0 +1,191 @@
+"""Property tests for the metrics registry (hypothesis).
+
+Two algebraic contracts keep the parallel runner honest:
+
+* **Merge is a commutative monoid** over registries — associative,
+  commutative, with the empty registry as identity — so K shard
+  snapshots fold into the parent in any order with one result.
+  Equality is asserted on *export bytes*, the representation every
+  downstream consumer sees.
+* **Histogram invariants** — cumulative bucket totals are monotone,
+  close at ``count``, and ``sum``/``count`` stay consistent through
+  observation and merge.
+
+Integer observation values keep the floating-point sums exact, so the
+byte-equality assertions are legitimate (commutativity over floats is
+only guaranteed per-series, which the disjoint-labels test covers).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, jsonl_lines
+
+#: Fixed bucket edges per histogram name (merge requires agreement).
+HISTOGRAM_EDGES = {
+    "lat.seconds": (0.5, 1.0, 5.0),
+    "size.bytes": (64.0, 512.0),
+}
+
+_LABELS = st.sampled_from(
+    ({}, {"k": "1"}, {"k": "2"}, {"m": "x", "k": "1"}))
+
+_EVENTS = st.lists(
+    st.one_of(
+        st.tuples(st.just("counter"),
+                  st.sampled_from(("scans.total", "reports.total")),
+                  _LABELS, st.integers(0, 50)),
+        st.tuples(st.just("gauge"),
+                  st.sampled_from(("depth", "resident.bytes")),
+                  _LABELS, st.integers(-100, 100)),
+        st.tuples(st.just("histogram"),
+                  st.sampled_from(sorted(HISTOGRAM_EDGES)),
+                  _LABELS, st.integers(-2, 600)),
+    ),
+    max_size=30,
+)
+
+
+def build(events) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for kind, name, labels, value in events:
+        if kind == "counter":
+            registry.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, **labels).add(value)
+        else:
+            registry.histogram(
+                name, edges=HISTOGRAM_EDGES[name], **labels).observe(value)
+    return registry
+
+
+def fold(*parts) -> list[str]:
+    """Merge snapshots of ``parts`` into a fresh registry; export it."""
+    target = MetricsRegistry()
+    for part in parts:
+        target.merge(part.snapshot())
+    return jsonl_lines(target)
+
+
+# ----------------------------------------------------------------------
+# Monoid laws
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(events=_EVENTS)
+def test_empty_is_identity(events):
+    a = build(events)
+    reference = jsonl_lines(a)
+    assert fold(MetricsRegistry(), a) == reference
+    assert fold(a, MetricsRegistry()) == reference
+    assert jsonl_lines(a.merge(None)) == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=_EVENTS, b=_EVENTS, c=_EVENTS)
+def test_merge_is_associative(a, b, c):
+    left = MetricsRegistry()
+    left.merge(build(a).snapshot()).merge(build(b).snapshot())
+    left.merge(build(c).snapshot())
+
+    bc = MetricsRegistry()
+    bc.merge(build(b).snapshot()).merge(build(c).snapshot())
+    right = MetricsRegistry()
+    right.merge(build(a).snapshot()).merge(bc.snapshot())
+
+    assert jsonl_lines(left) == jsonl_lines(right)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=_EVENTS, b=_EVENTS)
+def test_merge_is_commutative(a, b):
+    # Exact over the integer-valued strategies: addition per series is
+    # order-free when no rounding is involved.
+    assert fold(build(a), build(b)) == fold(build(b), build(a))
+
+
+@settings(max_examples=50, deadline=None)
+@given(values_a=st.lists(st.floats(0.001, 99.0, allow_nan=False), max_size=10),
+       values_b=st.lists(st.floats(0.001, 99.0, allow_nan=False), max_size=10))
+def test_commutative_on_disjoint_label_sets_even_for_floats(values_a,
+                                                            values_b):
+    # Disjoint series never share an accumulator, so float rounding
+    # can't make the merge order observable.
+    def one(shard: str, values) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        for v in values:
+            registry.counter("work.total", shard=shard).inc(v)
+            registry.histogram("lat.seconds",
+                               edges=HISTOGRAM_EDGES["lat.seconds"],
+                               shard=shard).observe(v)
+        return registry
+
+    a, b = one("a", values_a), one("b", values_b)
+    assert fold(a, b) == fold(b, a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(events=_EVENTS, k=st.integers(2, 5))
+def test_k_way_shard_merge_equals_serial(events, k):
+    # Round-robin the event stream over k shards — the parallel runner
+    # in miniature — and require the merged export to match the serial
+    # registry that saw every event itself.
+    shards = [build(events[i::k]) for i in range(k)]
+    assert fold(*shards) == jsonl_lines(build(events))
+
+
+# ----------------------------------------------------------------------
+# Histogram invariants
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.integers(-1000, 1000), max_size=50))
+def test_histogram_accounting(values):
+    h = MetricsRegistry().histogram("h", edges=(-10.0, 0.0, 10.0, 100.0))
+    for v in values:
+        h.observe(v)
+    cumulative = h.cumulative()
+    assert all(x <= y for x, y in zip(cumulative, cumulative[1:]))
+    assert cumulative[-1] == h.count == len(values)
+    assert sum(h.counts) == h.count
+    assert h.sum == sum(values)
+    if values:
+        assert h.mean == h.sum / h.count
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.integers(-50, 50), max_size=30))
+def test_histogram_buckets_partition_observations(values):
+    edges = (-10.0, 0.0, 10.0)
+    h = MetricsRegistry().histogram("h", edges=edges)
+    for v in values:
+        h.observe(v)
+    expected = [0] * (len(edges) + 1)
+    for v in values:
+        for i, edge in enumerate(edges):
+            if v <= edge:
+                expected[i] += 1
+                break
+        else:
+            expected[-1] += 1
+    assert h.counts == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(values_a=st.lists(st.integers(-100, 100), max_size=20),
+       values_b=st.lists(st.integers(-100, 100), max_size=20))
+def test_histogram_merge_equals_union_of_observations(values_a, values_b):
+    edges = (0.0, 25.0, 75.0)
+
+    def one(values):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", edges=edges)
+        for v in values:
+            h.observe(v)
+        return registry
+
+    merged = MetricsRegistry()
+    merged.merge(one(values_a).snapshot()).merge(one(values_b).snapshot())
+    assert jsonl_lines(merged) == jsonl_lines(one(values_a + values_b))

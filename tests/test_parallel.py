@@ -85,18 +85,13 @@ def test_shard_spec_indices():
 
 
 @pytest.fixture(scope="module")
-def small_config() -> ScenarioConfig:
-    return tiny_scenario(n_samples=150, seed=13)
-
-
-@pytest.fixture(scope="module")
-def serial_digest(small_config) -> str:
-    return run_experiment(small_config).store.digest()
+def serial_digest(tiny_store) -> str:
+    return tiny_store.digest()
 
 
 @pytest.mark.parametrize("workers", [2, 3, 4])
-def test_parallel_digest_matches_serial(small_config, serial_digest, workers):
-    data = run_experiment(small_config, workers=workers)
+def test_parallel_digest_matches_serial(tiny_config, serial_digest, workers):
+    data = run_experiment(tiny_config, workers=workers)
     assert data.store.digest() == serial_digest
     assert data.workers == workers
     assert data.service is None
@@ -104,23 +99,21 @@ def test_parallel_digest_matches_serial(small_config, serial_digest, workers):
     assert data.merge_stats.records == data.store.report_count
 
 
-def test_parallel_store_is_fully_queryable(small_config, serial_digest):
-    serial = run_experiment(small_config)
-    parallel = run_experiment(small_config, workers=3)
-    assert parallel.store.sample_count == serial.store.sample_count
-    for sha in list(serial.store.samples())[:20]:
+def test_parallel_store_is_fully_queryable(tiny_config, tiny_store):
+    parallel = run_experiment(tiny_config, workers=3)
+    assert parallel.store.sample_count == tiny_store.sample_count
+    for sha in list(tiny_store.samples())[:20]:
         assert [r.scan_time for r in parallel.store.reports_for(sha)] == \
-            [r.scan_time for r in serial.store.reports_for(sha)]
+            [r.scan_time for r in tiny_store.reports_for(sha)]
         assert (parallel.store.sample_file_type(sha)
-                == serial.store.sample_file_type(sha))
+                == tiny_store.sample_file_type(sha))
 
 
-def test_workers_exceeding_samples(serial_digest):
-    config = tiny_scenario(n_samples=150, seed=13)
-    data = run_experiment(config, workers=200)
+def test_workers_exceeding_samples(tiny_config, serial_digest):
+    data = run_experiment(tiny_config, workers=200)
     assert data.store.digest() == serial_digest
     # Empty shards are skipped, so at most n_samples workers really ran.
-    assert data.workers <= config.n_samples
+    assert data.workers <= tiny_config.n_samples
 
 
 def test_single_report_samples_parallelise():
@@ -249,6 +242,11 @@ def test_bench_artifact_schema(tmp_path):
         names.add(entry["name"])
     assert len(names) == len(results["benchmarks"])
     assert any(e["workers"] == 1 for e in results["benchmarks"])
+    overhead = results["metrics_overhead"]
+    for key in ("n_samples", "reports", "disabled_seconds",
+                "enabled_seconds", "enabled_over_disabled"):
+        assert key in overhead, f"missing metrics_overhead.{key}"
+    assert overhead["enabled_over_disabled"] > 0
 
 
 # ----------------------------------------------------------------------

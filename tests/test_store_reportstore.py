@@ -324,6 +324,68 @@ class TestPersistence:
         assert reloaded.total_reports == original.total_reports
         assert reloaded.verbose_bytes == original.verbose_bytes
 
+    def test_reopen_carries_retrieval_counters(self, store, tmp_path):
+        # Regression: a save()+reopen cycle used to zero the cache
+        # counters, making collector restarts look like cold caches.
+        _fill(store, n_samples=6, scans_each=2)
+        store.close()
+        store.reports_for(make_sha("s1"))  # miss + decode
+        store.reports_for(make_sha("s1"))  # hit
+        list(store.iter_sample_reports())  # streaming high-water mark
+        before = store.cache_stats()
+        assert before.hits > 0 and before.misses > 0
+        assert before.blocks_decoded > 0
+        assert before.peak_stream_reports > 0
+
+        path = tmp_path / "carry.store"
+        store.save(path)
+        reopened = ReportStore.load(path, reopen=True)
+        after = reopened.cache_stats()
+        assert after.hits == before.hits
+        assert after.misses == before.misses
+        assert after.evictions == before.evictions
+        assert after.invalidations == before.invalidations
+        assert after.blocks_decoded == before.blocks_decoded
+        assert after.open_reads == before.open_reads
+        assert after.peak_stream_reports == before.peak_stream_reports
+
+    def test_sealed_load_also_carries_counters(self, store, tmp_path):
+        _fill(store)
+        store.close()
+        store.reports_for(make_sha("s0"))
+        before = store.cache_stats()
+        path = tmp_path / "sealed.store"
+        store.save(path)
+        loaded = ReportStore.load(path)
+        assert loaded.cache_stats().misses == before.misses
+        assert loaded.cache_stats().blocks_decoded == before.blocks_decoded
+
+    def test_load_tolerates_missing_counter_header(self, store, tmp_path,
+                                                   monkeypatch):
+        # Files written before the counters existed must still load
+        # (header key absent → counters start at zero).
+        import json as json_mod
+
+        import repro.store.reportstore as rs_mod
+
+        real_dumps = json_mod.dumps
+
+        def strip_counters(obj, *args, **kwargs):
+            if isinstance(obj, dict) and "retrieval_counters" in obj:
+                obj = {k: v for k, v in obj.items()
+                       if k != "retrieval_counters"}
+            return real_dumps(obj, *args, **kwargs)
+
+        _fill(store)
+        path = tmp_path / "old.store"
+        monkeypatch.setattr(rs_mod.json, "dumps", strip_counters)
+        store.save(path)
+        monkeypatch.undo()
+        loaded = ReportStore.load(path)
+        assert loaded.report_count == store.report_count
+        assert loaded.cache_stats().hits == 0
+        assert loaded.cache_stats().blocks_decoded == 0
+
     def test_save_on_open_store_is_non_mutating(self, store, tmp_path):
         # Saving a live store must not flush its buffers: block layout,
         # buffered records and ingestability are all preserved.
