@@ -1,0 +1,127 @@
+"""reprolint full-repo wall-clock: the linter must stay cheap.
+
+The self-check runs inside tier-1 (``tests/test_lint_selfcheck.py``) and
+in every CI matrix cell, so the whole-package pass has a latency budget:
+well under ~2 s for ``src/repro``.  This bench measures a full
+``lint_paths`` pass (read + parse + all rules + the whole-program RPL005
+table) over the shipped package and records it in the shared
+``repro-bench/1`` results schema.
+
+Dual mode, like the other benches:
+
+* under pytest-benchmark (``pytest benchmarks/ --benchmark-only``) the
+  pass is timed by the harness and the budget asserted;
+* as a script (``python benchmarks/bench_lint.py``) it writes a schema'd
+  ``BENCH_lint.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lint import default_target, lint_paths, render_json
+
+try:  # pytest mode — absent when run as a plain script
+    from conftest import run_once, say
+except ImportError:  # pragma: no cover - script mode
+    run_once = None
+
+    def say(*args: object) -> None:
+        print(*args)
+
+#: Schema identifier for the benchmark artifact (shared across benches).
+RESULTS_SCHEMA = "repro-bench/1"
+
+#: Full-repo budget in seconds; generous for cold CI runners, an order
+#: of magnitude above what a warm local pass takes.
+DEFAULT_BUDGET_SECONDS = float(
+    os.environ.get("REPRO_BENCH_LINT_BUDGET", "2.0"))
+
+#: Timed repetitions in script mode (best-of, to shed FS cache noise).
+DEFAULT_REPEATS = 3
+
+
+def run_lint_bench(repeats: int = DEFAULT_REPEATS) -> dict:
+    """Time full-package lint passes; returns the artifact payload."""
+    target = default_target()
+    walls = []
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = lint_paths([target])
+        walls.append(time.perf_counter() - started)
+    best = min(walls)
+    report_bytes = len(render_json(result).encode("utf-8"))
+    return {
+        "schema": RESULTS_SCHEMA,
+        "suite": "lint",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "target": str(target),
+        "budget_seconds": DEFAULT_BUDGET_SECONDS,
+        "benchmarks": [{
+            "name": "reprolint_full_repo",
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "json_report_bytes": report_bytes,
+            "wall_seconds": round(best, 4),
+            "wall_seconds_all": [round(w, 4) for w in walls],
+            "within_budget": best <= DEFAULT_BUDGET_SECONDS,
+        }],
+    }
+
+
+def render(results: dict) -> None:
+    entry = results["benchmarks"][0]
+    verdict = ("within" if entry["within_budget"] else "OVER")
+    say()
+    say(f"reprolint full-repo bench ({entry['files_checked']} files, "
+        f"{entry['findings']} findings, "
+        f"{entry['suppressed']} suppressed)")
+    say(f"  best of {len(entry['wall_seconds_all'])}: "
+        f"{entry['wall_seconds']:.3f}s — {verdict} the "
+        f"{results['budget_seconds']:.1f}s budget")
+
+
+def test_lint_full_repo(benchmark):
+    """pytest-benchmark entry point: one timed full-package pass."""
+    target = default_target()
+    result = benchmark(lambda: lint_paths([target]))
+    assert result.findings == []
+    assert result.files_checked > 50
+    assert benchmark.stats.stats.min <= DEFAULT_BUDGET_SECONDS, (
+        f"full-repo lint exceeded the {DEFAULT_BUDGET_SECONDS:.1f}s budget"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark a full-repo reprolint pass and write a "
+                    "schema'd BENCH_lint.json.")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help=f"timed repetitions, best-of "
+                             f"(default: {DEFAULT_REPEATS})")
+    parser.add_argument("--output", default="BENCH_lint.json",
+                        help="artifact path (default: BENCH_lint.json)")
+    args = parser.parse_args(argv)
+
+    results = run_lint_bench(args.repeats)
+    render(results)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n",
+                                 encoding="utf-8")
+    say(f"\nwrote {args.output}")
+    return 0 if results["benchmarks"][0]["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

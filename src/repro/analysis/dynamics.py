@@ -265,9 +265,13 @@ class ThresholdImpact:
         return best.threshold, best.gray_fraction
 
 
+#: Detection-count thresholds swept by Figure 8 (1..50).
+DEFAULT_THRESHOLDS: tuple[int, ...] = tuple(range(1, 51))
+
+
 def threshold_impact(
     dataset_s: Sequence[AVRankSeries],
-    thresholds: Sequence[int] = tuple(range(1, 51)),
+    thresholds: Sequence[int] = DEFAULT_THRESHOLDS,
 ) -> ThresholdImpact:
     pe = [s for s in dataset_s if s.file_type in PE_FILE_TYPES]
     return ThresholdImpact(

@@ -205,7 +205,7 @@ def render_fig7(effect: IntervalEffect) -> str:
 
 def render_fig8(impact: ThresholdImpact) -> str:
     rows = []
-    for overall, pe in zip(impact.overall, impact.pe_only):
+    for overall, pe in zip(impact.overall, impact.pe_only, strict=False):
         rows.append((
             overall.threshold,
             pct(overall.white_fraction), pct(overall.gray_fraction),

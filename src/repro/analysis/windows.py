@@ -29,7 +29,7 @@ def _delta_within(series: AVRankSeries, window_days: float) -> int | None:
     gap is unmeasurable there, as in the paper's setup).
     """
     horizon = series.times[0] + int(window_days * MINUTES_PER_DAY)
-    ranks = [rank for t, rank in zip(series.times, series.ranks)
+    ranks = [rank for t, rank in zip(series.times, series.ranks, strict=False)
              if t <= horizon]
     if len(ranks) < 2:
         return None

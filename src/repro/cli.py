@@ -13,12 +13,22 @@ Subcommands mirror the reproduction workflow:
 * ``metrics`` — the observability registry of a run (or a loaded
   store's accounting gauges) as a summary tree, Prometheus text or
   JSONL;
+* ``lint`` — reprolint, the static determinism/invariant linter, over
+  this package's own source (or ``--paths``);
 * ``all`` — everything above in one run.
 
 The global ``--metrics-out PATH`` flag works with every subcommand:
 the run records into a live :class:`~repro.obs.MetricsRegistry` and the
 export is written on exit (``.prom`` suffix → Prometheus text,
 anything else → JSONL).
+
+Exit codes are uniform across subcommands (pytest convention):
+
+* ``0`` — success, and nothing to report;
+* ``1`` — the command ran fine but *found* something: lint findings,
+  a digest difference (``digest A B``), a failed calibration band;
+* ``2`` — internal error or bad usage (bad flags, unreadable files,
+  unknown lint codes).
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import sys
 import time
 
 from repro.analysis import dataset as dataset_mod
+from repro.errors import ConfigError, ReproError
 from repro.analysis import dynamics as dynamics_mod
 from repro.analysis import engines as engines_mod
 from repro.analysis import rendering, stabilization as stab_mod
@@ -52,6 +63,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-vt",
         description="Reproduce the IMC'23 VirusTotal label-dynamics study "
                     "on a simulated VT ecosystem.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: 0 = success; 1 = findings or differences "
+               "(lint findings, digest mismatch, failed calibration); "
+               "2 = internal error or bad usage",
     )
     parser.add_argument("--samples", type=int, default=10_000,
                         help="population size (default: 10000)")
@@ -78,8 +93,12 @@ def _build_parser() -> argparse.ArgumentParser:
     dig = sub.add_parser(
         "digest",
         help="print the canonical content digest of a saved store "
-             "(the serial/parallel equivalence gate compares these)")
+             "(the serial/parallel equivalence gate compares these); "
+             "with two paths, compare them (exit 1 on mismatch)")
     dig.add_argument("path", help="saved store to digest")
+    dig.add_argument("path2", nargs="?", default=None,
+                     help="second store to compare against (exit 1 if "
+                          "the digests differ)")
     collect = sub.add_parser(
         "collect",
         help="run the resilient collection pipeline into a directory")
@@ -110,6 +129,24 @@ def _build_parser() -> argparse.ArgumentParser:
     met.add_argument("--format", choices=("summary", "prom", "jsonl"),
                      default="summary",
                      help="output format (default: human summary tree)")
+    lint = sub.add_parser(
+        "lint",
+        help="reprolint: statically enforce the determinism contract "
+             "(wall clocks, unseeded RNG, unordered iteration, metric "
+             "discipline); exit 1 on findings")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: grep-able text; json "
+                           "is byte-deterministic)")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run "
+                           "(e.g. RPL001,RPL004; default: all)")
+    lint.add_argument("--paths", nargs="*", default=None, metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package source)")
+    lint.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the report to this file")
+    lint.add_argument("--explain", action="store_true",
+                      help="list every rule code with its summary and exit")
     sub.add_parser("all", help="every table and figure")
     sub.add_parser("calibrate", help="grade headline stats vs the paper")
     report = sub.add_parser("report", help="write a full markdown report")
@@ -137,12 +174,15 @@ def _data(args: argparse.Namespace, metrics=None) -> ExperimentData:
             store=store,
             metrics=metrics,
         )
-    started = time.perf_counter()
+    # Wall time below is operator-facing elapsed display only; it never
+    # feeds simulation state or stored bytes.
+    started = time.perf_counter()  # reprolint: disable=RPL001 - display only
     data = run_experiment(_config(args), workers=_workers(args),
                           metrics=metrics)
+    elapsed = time.perf_counter() - started  # reprolint: disable=RPL001 - display only
     print(f"[generated {data.store.report_count:,} reports from "
           f"{data.store.sample_count:,} samples in "
-          f"{time.perf_counter() - started:.1f}s "
+          f"{elapsed:.1f}s "
           f"({data.workers} worker{'s' if data.workers != 1 else ''})]\n",
           file=sys.stderr)
     return data
@@ -154,10 +194,11 @@ def _workers(args: argparse.Namespace) -> int | str:
         return value
     try:
         return int(value)
-    except ValueError:
-        raise SystemExit(
-            f"repro-vt: --workers must be an integer or 'auto', "
-            f"got {value!r}")
+    except ValueError as exc:
+        # ConfigError → exit code 2 via main()'s uniform error handling.
+        raise ConfigError(
+            f"--workers must be an integer or 'auto', got {value!r}"
+        ) from exc
 
 
 def _series_and_s(data: ExperimentData):
@@ -226,7 +267,7 @@ def cmd_collect(args: argparse.Namespace, metrics=None) -> int:
                if args.crash_at_days is not None else None)
     resume_from = auto_resume_minute(args.outdir) if args.resume else None
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # reprolint: disable=RPL001 - display only
     result = run_collection(
         config,
         out_dir=args.outdir,
@@ -237,7 +278,7 @@ def cmd_collect(args: argparse.Namespace, metrics=None) -> int:
         metrics=metrics,
     )
     stats = result.stats
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # reprolint: disable=RPL001 - display only
     verb = "crashed (simulated)" if result.crashed else "completed"
     print(f"collection {verb} in {elapsed:.1f}s: "
           f"{result.store.report_count:,} reports from "
@@ -265,6 +306,50 @@ def _write_metrics(registry, path: str) -> None:
     print(f"[wrote metrics to {path}]", file=sys.stderr)
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintConfig,
+        default_target,
+        lint_paths,
+        parse_select,
+        render_json,
+        render_rules,
+        render_text,
+    )
+
+    if args.explain:
+        print(render_rules(), end="")
+        return 0
+    select = parse_select(args.select) if args.select else None
+    config = LintConfig(select=select)
+    targets = args.paths if args.paths else [default_target()]
+    result = lint_paths(targets, config=config)
+    text = (render_json(result) if args.format == "json"
+            else render_text(result))
+    print(text, end="")
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"[wrote lint report to {args.output}]", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def cmd_digest(args: argparse.Namespace) -> int:
+    digest = ReportStore.load(args.path).digest()
+    if args.path2 is None:
+        print(digest)
+        return 0
+    other = ReportStore.load(args.path2).digest()
+    print(f"{digest}  {args.path}")
+    print(f"{other}  {args.path2}")
+    if digest != other:
+        print("digests DIFFER")
+        return 1
+    print("digests match")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace, registry) -> int:
     _data(args, metrics=registry)
     if args.format == "jsonl":
@@ -280,13 +365,21 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     registry = (MetricsRegistry()
                 if args.metrics_out or args.command == "metrics" else None)
-    status = _dispatch(args, registry)
+    try:
+        status = _dispatch(args, registry)
+    except ReproError as exc:
+        # Uniform convention: findings/differences exit 1 (returned by
+        # the command), internal errors and bad usage exit 2.
+        print(f"repro-vt: error: {exc}", file=sys.stderr)
+        return 2
     if registry is not None and args.metrics_out:
         _write_metrics(registry, args.metrics_out)
     return status
 
 
 def _dispatch(args: argparse.Namespace, registry) -> int:
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "metrics":
         return cmd_metrics(args, registry)
     if args.command == "collect":
@@ -298,8 +391,7 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
         print(f"saved {data.store.report_count:,} reports to {args.output}")
         return 0
     if args.command == "digest":
-        print(ReportStore.load(args.path).digest())
-        return 0
+        return cmd_digest(args)
     data = _data(args, metrics=registry)
     if args.command == "calibrate":
         from repro.analysis.calibration import calibration_report

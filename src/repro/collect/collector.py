@@ -290,14 +290,14 @@ class FeedCollector:
                         duplicates += 1
                     done.add(key)
                 break
-            except TransientError:
+            except TransientError as exc:
                 self._stats.store_retries += 1
                 attempt += 1
                 if attempt >= self.backoff.max_attempts:
                     raise CollectError(
                         f"store writes kept failing after "
                         f"{attempt} attempts at minute {minute}"
-                    )
+                    ) from exc
                 self._wait(self.backoff.delay(attempt - 1, rng))
         self._stats.reports_ingested += ingested
         self._stats.duplicates_skipped += duplicates

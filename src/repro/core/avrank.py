@@ -35,7 +35,7 @@ class AVRankSeries:
             raise ValueError("times/ranks length mismatch")
         if not self.times:
             raise InsufficientDataError(1, 0, "reports in series")
-        if any(b < a for a, b in zip(self.times, self.times[1:])):
+        if any(b < a for a, b in zip(self.times, self.times[1:], strict=False)):
             raise ValueError("series times must be non-decreasing")
 
     @classmethod
@@ -95,7 +95,7 @@ class AVRankSeries:
 
     def adjacent_deltas(self) -> list[int]:
         """δ_i = |p_i − p_{i−1}| for consecutive scans (§5.3.2)."""
-        return [abs(b - a) for a, b in zip(self.ranks, self.ranks[1:])]
+        return [abs(b - a) for a, b in zip(self.ranks, self.ranks[1:], strict=False)]
 
     def labels_under(self, threshold: int) -> list[str]:
         """The "B"/"M" sequence under a voting threshold (§6.2)."""

@@ -66,7 +66,7 @@ def attribute_causes(
     changed_pairs = 0
     total_pairs = 0
     for _, reports in sample_reports:
-        for previous, current in zip(reports, reports[1:]):
+        for previous, current in zip(reports, reports[1:], strict=False):
             total_pairs += 1
             if current.positives != previous.positives:
                 changed_pairs += 1

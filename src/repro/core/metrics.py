@@ -66,7 +66,7 @@ class PairwiseDifferences:
     ) -> dict[int, list[int]]:
         """Group differences into interval bins (the figure's boxes)."""
         bins: dict[int, list[int]] = defaultdict(list)
-        for interval, diff in zip(self.interval_days, self.rank_diffs):
+        for interval, diff in zip(self.interval_days, self.rank_diffs, strict=False):
             bins[int(interval // bin_days)].append(diff)
         return dict(bins)
 
@@ -79,7 +79,7 @@ class PairwiseDifferences:
         and is robust to the raw pairs' heavy within-bucket noise.
         """
         by_bucket: dict[int, list[int]] = defaultdict(list)
-        for interval, diff in zip(self.interval_days, self.rank_diffs):
+        for interval, diff in zip(self.interval_days, self.rank_diffs, strict=False):
             by_bucket[int(interval // 7)].append(diff)
         # Thin buckets (a handful of very long intervals) are pure noise;
         # require a minimum occupancy before a bucket enters the trend.

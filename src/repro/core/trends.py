@@ -60,12 +60,16 @@ class TrendParams:
             raise ConfigError("spike_return must be in [0,1)")
 
 
+#: Shared default thresholds (frozen, so safely reusable as a default).
+DEFAULT_TREND_PARAMS = TrendParams()
+
+
 def classify_trend(
-    series: AVRankSeries, params: TrendParams = TrendParams()
+    series: AVRankSeries, params: TrendParams = DEFAULT_TREND_PARAMS
 ) -> Trend:
     """Classify one sample's trajectory shape."""
     ranks = series.ranks
-    gross = sum(abs(b - a) for a, b in zip(ranks, ranks[1:]))
+    gross = sum(abs(b - a) for a, b in zip(ranks, ranks[1:], strict=False))
     if gross < params.min_movement:
         return Trend.FLAT
     net = ranks[-1] - ranks[0]
@@ -73,8 +77,8 @@ def classify_trend(
     # the number of times the trajectory changes direction — a spike is
     # one out-and-back excursion, churn keeps reversing.
     excursion = max(abs(r - ranks[0]) for r in ranks)
-    moves = [b - a for a, b in zip(ranks, ranks[1:]) if b != a]
-    reversals = sum(1 for a, b in zip(moves, moves[1:])
+    moves = [b - a for a, b in zip(ranks, ranks[1:], strict=False) if b != a]
+    reversals = sum(1 for a, b in zip(moves, moves[1:], strict=False)
                     if (a > 0) != (b > 0))
     if (excursion and abs(net) <= params.spike_return * excursion
             and reversals <= 1):
@@ -86,7 +90,7 @@ def classify_trend(
 
 def trend_distribution(
     series: Iterable[AVRankSeries],
-    params: TrendParams = TrendParams(),
+    params: TrendParams = DEFAULT_TREND_PARAMS,
 ) -> Counter:
     """Trend class counts over a collection (multi-report samples only)."""
     counts: Counter = Counter()
@@ -98,7 +102,7 @@ def trend_distribution(
 
 def trends_by_file_type(
     series: Iterable[AVRankSeries],
-    params: TrendParams = TrendParams(),
+    params: TrendParams = DEFAULT_TREND_PARAMS,
 ) -> dict[str, Counter]:
     """Per-file-type trend distributions."""
     out: dict[str, Counter] = {}
@@ -122,7 +126,7 @@ def dominant_dynamic_trend(counts: Counter) -> Trend | None:
 
 def summarize_trends(
     series: Sequence[AVRankSeries],
-    params: TrendParams = TrendParams(),
+    params: TrendParams = DEFAULT_TREND_PARAMS,
 ) -> dict[str, float]:
     """Trend shares over multi-report samples, as fractions."""
     counts = trend_distribution(series, params)

@@ -161,6 +161,20 @@ class CheckpointError(CollectError):
 
 
 # --------------------------------------------------------------------------
+# Static-analysis (reprolint) errors
+# --------------------------------------------------------------------------
+
+
+class LintError(ReproError):
+    """The linter itself failed: unreadable file, syntax error, bad config.
+
+    Distinct from *findings* — a finding is a successful lint result and
+    maps to exit code 1; a :class:`LintError` is an internal error and
+    maps to exit code 2 (the CLI-wide convention).
+    """
+
+
+# --------------------------------------------------------------------------
 # Analysis errors
 # --------------------------------------------------------------------------
 

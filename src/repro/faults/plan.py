@@ -84,7 +84,7 @@ class FaultPlan:
         if self.max_consecutive_failures < 1:
             raise ConfigError("max_consecutive_failures must be >= 1")
         ordered = sorted(self.outages, key=lambda w: w.start)
-        for a, b in zip(ordered, ordered[1:]):
+        for a, b in zip(ordered, ordered[1:], strict=False):
             if b.start < a.end:
                 raise ConfigError(
                     f"outage windows overlap: [{a.start},{a.end}) and "

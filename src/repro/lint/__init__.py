@@ -1,0 +1,70 @@
+"""``repro.lint`` (reprolint) — static enforcement of the determinism
+contract.
+
+Every equivalence gate in this repo — the serial/parallel digest gate,
+byte-identical metric exports, chaos crash/resume convergence — rests on
+one unwritten rule: *no unseeded randomness, no wall-clock reads, no
+order-unstable iteration anywhere on the simulation path*.  reprolint
+makes the rule written and machine-checked: an AST pass over the source
+with per-rule codes (RPL001-RPL007), inline ``# reprolint:
+disable=RPL00x`` pragmas with justifications, a config-driven path
+policy for the sanctioned owners (clock modules, the parallel runner),
+and byte-deterministic text/JSON reports.
+
+The repo lints itself in tier-1 (``tests/test_lint_selfcheck.py``) and
+in CI (``repro-vt lint --format json``): zero undisabled findings, the
+same bar the dynamic gates hold the runtime to.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import (
+    ALL_CODES,
+    DEFAULT_POLICIES,
+    RULE_SUMMARIES,
+    LintConfig,
+    PathPolicy,
+    normalize_path,
+    parse_select,
+)
+from repro.lint.engine import (
+    Finding,
+    LintResult,
+    default_target,
+    lint_modules,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.pragmas import BadPragma, Pragmas, collect_pragmas
+from repro.lint.report import (
+    JSON_SCHEMA,
+    json_lines,
+    render_json,
+    render_rules,
+    render_text,
+    write_report,
+)
+from repro.lint.rules import RULE_CLASSES
+
+__all__ = [
+    "ALL_CODES",
+    "DEFAULT_POLICIES",
+    "JSON_SCHEMA",
+    "RULE_CLASSES",
+    "RULE_SUMMARIES",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "PathPolicy",
+    "default_target",
+    "json_lines",
+    "lint_modules",
+    "lint_paths",
+    "lint_source",
+    "normalize_path",
+    "parse_select",
+    "render_json",
+    "render_rules",
+    "render_text",
+    "write_report",
+]

@@ -1,0 +1,144 @@
+"""Configuration for reprolint: rule selection and the path policy.
+
+The determinism contract does not bind every file equally: the injectable
+clock modules *are* the sanctioned home of wall-clock reads, the parallel
+runner *is* the sanctioned owner of process pools, and the metrics
+registry implementation necessarily passes metric names around as
+variables.  The path policy encodes those carve-outs per rule, so the
+self-check can run over all of ``src/repro`` without drowning the real
+contract in sanctioned-owner noise.
+
+Paths are matched in normalised package-relative form (``repro/vt/...``),
+so the policy is independent of where the tree is checked out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Mapping
+
+from repro.errors import LintError
+
+#: Every rule code the engine knows, with a one-line summary.  RPL000 is
+#: the pragma-hygiene rule (unknown code in a pragma) and is never
+#: disableable or path-scoped.
+RULE_SUMMARIES: dict[str, str] = {
+    "RPL000": "malformed reprolint pragma (unknown or missing rule code)",
+    "RPL001": "wall-clock read outside the injectable clock modules",
+    "RPL002": "global or unseeded randomness instead of keyed per-sample RNG",
+    "RPL003": "entropy source (uuid4, os.urandom, secrets) on the sim path",
+    "RPL004": "iteration over an unordered source without sorted()",
+    "RPL005": "metric-name discipline (literal, grammar, one kind per name)",
+    "RPL006": "bare or swallowed exception handler in collect/faults",
+    "RPL007": "multiprocessing pool/process built outside the runner",
+}
+
+ALL_CODES: frozenset[str] = frozenset(RULE_SUMMARIES)
+
+
+def normalize_path(path: str) -> str:
+    """Canonical display/policy form of a lint target path.
+
+    Posix separators, ``./`` stripped, and everything up to a leading
+    ``src/`` dropped, so checked-out and installed trees both yield
+    ``repro/...`` paths the policy table can match.
+    """
+    posix = PurePosixPath(str(path).replace("\\", "/"))
+    parts = [p for p in posix.parts if p not in (".",)]
+    for anchor in ("src",):
+        if anchor in parts[:-1]:
+            cut = parts.index(anchor)
+            if "repro" in parts[cut + 1:]:
+                parts = parts[cut + 1:]
+                break
+    if "repro" in parts[:-1]:
+        parts = parts[parts.index("repro"):]
+    return "/".join(parts)
+
+
+def _matches(path: str, pattern: str) -> bool:
+    """Whether normalised ``path`` matches one policy ``pattern``.
+
+    A pattern ending in ``/`` is a directory prefix; anything else must
+    match the full path or a trailing path suffix at a ``/`` boundary.
+    """
+    if pattern.endswith("/"):
+        return path.startswith(pattern) or f"/{pattern}" in f"/{path}"
+    return path == pattern or path.endswith(f"/{pattern}")
+
+
+@dataclass(frozen=True)
+class PathPolicy:
+    """Where one rule applies: include prefixes minus exclude patterns."""
+
+    include: tuple[str, ...] = ("repro/",)
+    exclude: tuple[str, ...] = ()
+
+    def applies(self, path: str) -> bool:
+        if self.include and not any(_matches(path, p) for p in self.include):
+            return False
+        return not any(_matches(path, p) for p in self.exclude)
+
+
+#: The default per-rule path policy — the sanctioned-owner carve-outs.
+DEFAULT_POLICIES: dict[str, PathPolicy] = {
+    # Injectable clocks are the one sanctioned home of wall-clock reads.
+    "RPL001": PathPolicy(exclude=("repro/vt/clock.py", "repro/obs/timing.py")),
+    "RPL002": PathPolicy(),
+    "RPL003": PathPolicy(),
+    "RPL004": PathPolicy(),
+    # The registry/exporter implementation passes metric names as
+    # variables by design; discipline is checked at recording call sites.
+    "RPL005": PathPolicy(exclude=("repro/obs/registry.py",
+                                  "repro/obs/timing.py",
+                                  "repro/obs/export.py")),
+    # The swallow rule is scoped to the resilience layers, where a
+    # swallowed exception silently breaks the convergence guarantee.
+    "RPL006": PathPolicy(include=("repro/collect/", "repro/faults/")),
+    # The fork-context + graceful-fallback owner.
+    "RPL007": PathPolicy(exclude=("repro/parallel/runner.py",)),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """One lint run's configuration.
+
+    ``select=None`` enables every rule; otherwise only the given codes
+    run (RPL000 pragma hygiene always runs).  Unknown codes raise
+    :class:`~repro.errors.LintError` immediately — a typo'd ``--select``
+    is an internal error, not an empty-but-green run.
+    """
+
+    select: frozenset[str] | None = None
+    policies: Mapping[str, PathPolicy] = field(
+        default_factory=lambda: dict(DEFAULT_POLICIES))
+
+    def __post_init__(self) -> None:
+        if self.select is not None:
+            unknown = sorted(set(self.select) - ALL_CODES)
+            if unknown:
+                raise LintError(
+                    f"unknown rule code(s) in select: {', '.join(unknown)}; "
+                    f"known codes are {', '.join(sorted(ALL_CODES))}")
+
+    def enabled(self, code: str) -> bool:
+        if code == "RPL000":
+            return True
+        return self.select is None or code in self.select
+
+    def rule_applies(self, code: str, path: str) -> bool:
+        if not self.enabled(code):
+            return False
+        policy = self.policies.get(code)
+        return policy.applies(path) if policy is not None else True
+
+
+def parse_select(spec: str) -> frozenset[str]:
+    """Parse a ``--select`` string (``RPL001,RPL004``) into codes."""
+    codes = frozenset(
+        token.strip().upper() for token in spec.split(",") if token.strip())
+    if not codes:
+        raise LintError("--select given but no rule codes parsed")
+    return codes

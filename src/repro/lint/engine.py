@@ -1,0 +1,192 @@
+"""The reprolint engine: parse, run rules, apply pragmas, sort findings.
+
+One :func:`lint_paths` call is a pure function of (file contents,
+config): files are discovered in sorted order, every rule's raw findings
+are filtered through the pragma index and the per-rule path policy, and
+the result is globally sorted by ``(path, line, col, code)`` — so two
+runs over the same tree produce byte-identical reports, which
+``tests/test_lint_selfcheck.py`` asserts the same way the store-digest
+gate asserts serial/parallel equality.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import LintError
+from repro.lint.config import ALL_CODES, LintConfig, normalize_path
+from repro.lint.pragmas import Pragmas, collect_pragmas
+from repro.lint.resolve import ImportMap
+from repro.lint.rules import RULE_CLASSES, Rule
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the rules need to know about one parsed module."""
+
+    path: str
+    tree: ast.Module
+    imports: ImportMap
+    pragmas: Pragmas
+    #: ``def``/``class`` suppression spans: (first line, last line,
+    #: codes disabled by a pragma on the header or a decorator line).
+    scopes: list[tuple[int, int, frozenset[str]]]
+
+
+@dataclass
+class LintResult:
+    """A lint run's outcome: active findings plus suppression accounting."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _parse_module(path: str, source: str) -> ModuleInfo:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from exc
+    pragmas = collect_pragmas(source)
+    scopes: list[tuple[int, int, frozenset[str]]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        header_lines = [node.lineno]
+        header_lines.extend(d.lineno for d in node.decorator_list)
+        codes: set[str] = set()
+        for line in header_lines:
+            codes.update(pragmas.by_line.get(line, ()))
+        if codes:
+            scopes.append((min(header_lines), node.end_lineno or node.lineno,
+                           frozenset(codes)))
+    return ModuleInfo(path=path, tree=tree, imports=ImportMap.from_module(tree),
+                      pragmas=pragmas, scopes=scopes)
+
+
+def _is_disabled(module: ModuleInfo, code: str, line: int) -> bool:
+    if code in module.pragmas.file_level:
+        return True
+    if code in module.pragmas.by_line.get(line, ()):
+        return True
+    return any(start <= line <= end and code in codes
+               for start, end, codes in module.scopes)
+
+
+def _route(result: LintResult, module: ModuleInfo, config: LintConfig,
+           code: str, raw: tuple[int, int, str]) -> None:
+    """File one raw finding as active or pragma-suppressed."""
+    line, col, message = raw
+    finding = Finding(module.path, line, col, code, message)
+    # RPL000 (pragma hygiene) cannot itself be pragma'd away — a broken
+    # pragma must never silence the report that it is broken.
+    if code != "RPL000" and _is_disabled(module, code, line):
+        result.suppressed.append(finding)
+    else:
+        result.findings.append(finding)
+
+
+def lint_modules(modules: Iterable[tuple[str, str]],
+                 config: LintConfig | None = None) -> LintResult:
+    """Lint ``(path, source)`` pairs; the core everything else wraps."""
+    config = config if config is not None else LintConfig()
+    rules: list[Rule] = [cls() for cls in RULE_CLASSES]
+    result = LintResult()
+    parsed: dict[str, ModuleInfo] = {}
+
+    for path, source in modules:
+        display = normalize_path(path)
+        module = _parse_module(display, source)
+        parsed[display] = module
+        result.files_checked += 1
+        # Pragma hygiene (RPL000) applies everywhere, always.
+        for bad in module.pragmas.bad:
+            _route(result, module, config, "RPL000",
+                   (bad.line, bad.col, bad.message))
+        for rule in rules:
+            if not config.rule_applies(rule.code, display):
+                continue
+            for raw in rule.check(module):
+                _route(result, module, config, rule.code, raw)
+
+    # Whole-program passes (the RPL005 kind table).
+    for rule in rules:
+        for path, raw in rule.finish():
+            module = parsed.get(path)
+            if module is None or not config.rule_applies(rule.code, path):
+                continue
+            _route(result, module, config, rule.code, raw)
+
+    result.findings = sorted(set(result.findings))
+    result.suppressed = sorted(set(result.suppressed))
+    return result
+
+
+def lint_source(source: str, path: str = "repro/_inline.py",
+                config: LintConfig | None = None) -> LintResult:
+    """Lint one in-memory module — the unit-test entry point."""
+    return lint_modules([(path, source)], config=config)
+
+
+def _expand(target: Path) -> list[Path]:
+    if target.is_dir():
+        # rglob order is filesystem order; sort for determinism (the
+        # same contract RPL004 enforces on the code under lint).
+        return sorted(target.rglob("*.py"))
+    return [target]
+
+
+def lint_paths(paths: Sequence[str | Path],
+               config: LintConfig | None = None) -> LintResult:
+    """Lint files and directories (directories recurse over ``*.py``)."""
+    files: list[Path] = []
+    for raw in paths:
+        target = Path(raw)
+        if not target.exists():
+            raise LintError(f"lint target does not exist: {target}")
+        files.extend(_expand(target))
+
+    def read(path: Path) -> tuple[str, str]:
+        try:
+            return str(path), path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+
+    return lint_modules((read(path) for path in files), config=config)
+
+
+def default_target() -> Path:
+    """The tree ``repro-vt lint`` checks by default: this package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+__all__ = [
+    "ALL_CODES",
+    "Finding",
+    "LintResult",
+    "default_target",
+    "lint_modules",
+    "lint_paths",
+    "lint_source",
+]

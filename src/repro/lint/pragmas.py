@@ -1,0 +1,93 @@
+"""Inline suppression pragmas: ``# reprolint: disable=RPL00x``.
+
+Two forms:
+
+* ``# reprolint: disable=RPL001`` — suppresses the listed codes on the
+  comment's own line; when the line is a ``def``/``class`` header (or one
+  of its decorator lines), the suppression covers the whole definition
+  body, so one pragma can bless a sanctioned function without peppering
+  every statement.
+* ``# reprolint: disable-file=RPL001,RPL004`` — suppresses the listed
+  codes for the entire file, wherever the comment appears
+  (conventionally in the module docstring area).
+
+Codes may be followed by a free-text justification (``disable=RPL001 -
+operator-facing timing only``); the justification is ignored by the
+parser but required by review convention.  An unknown rule code — or a
+pragma that lists no codes at all — is itself a finding (RPL000): a
+typo'd pragma must never silently suppress nothing.
+
+Comments are found with :mod:`tokenize`, not string scanning, so ``#``
+characters inside string literals can never be misread as pragmas.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.config import ALL_CODES
+
+#: ``reprolint:`` marker with the disable kind and the raw argument tail.
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*(?P<tail>.*)$")
+
+#: Leading comma-separated code tokens of the argument tail; anything
+#: after the last code (a justification) is ignored.
+_CODES_RE = re.compile(r"^[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*")
+
+
+@dataclass
+class BadPragma:
+    """A pragma that failed validation (RPL000 material)."""
+
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class Pragmas:
+    """All suppression pragmas of one module."""
+
+    file_level: set[str] = field(default_factory=set)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    bad: list[BadPragma] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.file_level) + sum(
+            len(codes) for codes in self.by_line.values())
+
+
+def collect_pragmas(source: str, known: frozenset[str] = ALL_CODES) -> Pragmas:
+    """Extract every reprolint pragma (and pragma mistake) from a module."""
+    pragmas = Pragmas()
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        line, col = token.start
+        codes_match = _CODES_RE.match(match.group("tail").strip())
+        if codes_match is None:
+            pragmas.bad.append(BadPragma(
+                line, col, "reprolint pragma lists no rule codes"))
+            continue
+        codes = {c.strip().upper() for c in codes_match.group(0).split(",")}
+        unknown = sorted(codes - known)
+        for code in unknown:
+            pragmas.bad.append(BadPragma(
+                line, col, f"unknown rule code {code!r} in reprolint pragma"))
+        valid = codes & known
+        if not valid:
+            continue
+        if match.group("kind") == "disable-file":
+            pragmas.file_level |= valid
+        else:
+            pragmas.by_line.setdefault(line, set()).update(valid)
+    return pragmas

@@ -1,0 +1,70 @@
+"""Report rendering: human text and byte-deterministic JSON lines.
+
+Same house style as :mod:`repro.obs.export`: the JSON format is one
+schema line followed by one compact, key-sorted JSON object per finding,
+in the engine's global ``(path, line, col, code)`` order — two runs over
+the same tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.config import RULE_SUMMARIES
+from repro.lint.engine import LintResult
+
+#: JSON report schema identifier, bumped on incompatible changes.
+JSON_SCHEMA = "reprolint/1"
+
+
+def json_lines(result: LintResult) -> list[str]:
+    """Schema line + one sorted JSON line per active finding."""
+    head = {
+        "schema": JSON_SCHEMA,
+        "files_checked": result.files_checked,
+        "findings": len(result.findings),
+        "suppressed": len(result.suppressed),
+    }
+    lines = [json.dumps(head, sort_keys=True, separators=(",", ":"))]
+    for f in result.findings:
+        lines.append(json.dumps(
+            {"path": f.path, "line": f.line, "col": f.col,
+             "code": f.code, "message": f.message},
+            sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def render_json(result: LintResult) -> str:
+    return "\n".join(json_lines(result)) + "\n"
+
+
+def render_text(result: LintResult) -> str:
+    """The human report: one grep-able line per finding plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}"
+        for f in result.findings
+    ]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} "
+        f"({result.files_checked} files checked, "
+        f"{len(result.suppressed)} suppressed by pragmas)")
+    return "\n".join(lines) + "\n"
+
+
+def render_rules() -> str:
+    """The rule table (``repro-vt lint --explain``)."""
+    width = max(len(code) for code in RULE_SUMMARIES)
+    return "\n".join(
+        f"{code:<{width}}  {RULE_SUMMARIES[code]}"
+        for code in sorted(RULE_SUMMARIES)) + "\n"
+
+
+def write_report(result: LintResult, path: str | Path,
+                 fmt: str = "json") -> Path:
+    """Write the rendered report to ``path``; returns the path."""
+    path = Path(path)
+    text = render_json(result) if fmt == "json" else render_text(result)
+    path.write_text(text, encoding="utf-8")
+    return path

@@ -1,0 +1,54 @@
+"""Import-aware name resolution for the rule visitors.
+
+The banned-construct rules match *fully-qualified* names, so aliased
+imports cannot dodge them: ``from time import time as now`` makes a bare
+``now`` resolve to ``time.time``, and ``import datetime as dt`` makes
+``dt.datetime.now`` resolve to ``datetime.datetime.now``.  Resolution is
+purely syntactic — a name rebound by a later assignment will still
+resolve to its import, which errs on the side of flagging (a linter's
+correct bias) and costs nothing on this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Maps a module's local names to the dotted names they import."""
+
+    __slots__ = ("_names",)
+
+    def __init__(self) -> None:
+        self._names: dict[str, str] = {}
+
+    @classmethod
+    def from_module(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # ``import a.b`` binds ``a`` → a; ``import a.b as c``
+                    # binds ``c`` → a.b.
+                    target = alias.name if alias.asname else local
+                    imports._names[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                module = ("." * node.level) + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports._names[local] = f"{module}.{alias.name}"
+        return imports
+
+    def qualname(self, node: ast.expr) -> str | None:
+        """The dotted import-resolved name of an expression, if any."""
+        if isinstance(node, ast.Name):
+            return self._names.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.qualname(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None

@@ -87,7 +87,7 @@ def prometheus_text(registry) -> str:
             typed.add(pname)
             out.append(f"# TYPE {pname} {kind}")
         if kind == "histogram":
-            for edge, total in zip(instrument.edges, instrument.cumulative()):
+            for edge, total in zip(instrument.edges, instrument.cumulative(), strict=False):
                 out.append(
                     f"{pname}_bucket"
                     f"{_prom_label_merge(items, (('le', _fmt(edge)),))}"

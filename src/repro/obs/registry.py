@@ -103,7 +103,7 @@ class Histogram:
         edges = tuple(edges)
         if not edges:
             raise ConfigError("histogram needs at least one bucket edge")
-        if any(b <= a for a, b in zip(edges, edges[1:])):
+        if any(b <= a for a, b in zip(edges, edges[1:], strict=False)):
             raise ConfigError(
                 f"histogram edges must be strictly increasing: {edges}")
         self.edges = edges

@@ -14,12 +14,12 @@ from typing import Iterable, Sequence
 
 def transitions(sequence: Sequence[int]) -> list[tuple[int, int]]:
     """Consecutive (previous, current) pairs of a sequence."""
-    return list(zip(sequence, sequence[1:]))
+    return list(zip(sequence, sequence[1:], strict=False))
 
 
 def count_changes(sequence: Sequence[int]) -> int:
     """Number of consecutive positions where the value changes."""
-    return sum(1 for a, b in zip(sequence, sequence[1:]) if a != b)
+    return sum(1 for a, b in zip(sequence, sequence[1:], strict=False) if a != b)
 
 
 @dataclass(frozen=True)
@@ -61,5 +61,5 @@ def agreement_table(
     first: Iterable[int], second: Iterable[int]
 ) -> AgreementTable:
     """Tabulate pairwise agreement of two aligned verdict sequences."""
-    counts: Counter = Counter(zip(first, second))
+    counts: Counter = Counter(zip(first, second, strict=False))
     return AgreementTable(dict(counts))

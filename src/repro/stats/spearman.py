@@ -41,7 +41,7 @@ def _pearson(x: Sequence[float], y: Sequence[float]) -> float:
     mx = sum(x) / n
     my = sum(y) / n
     sxy = sxx = syy = 0.0
-    for xi, yi in zip(x, y):
+    for xi, yi in zip(x, y, strict=False):
         dx = xi - mx
         dy = yi - my
         sxy += dx * dy

@@ -19,6 +19,7 @@ queries can be shared and extended safely.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
 
@@ -53,7 +54,7 @@ class ReportQuery:
         return self.where(lambda r: r.file_type in wanted)
 
     def scanned_between(
-        self, day_lo: float = 0.0, day_hi: float = float("inf")
+        self, day_lo: float = 0.0, day_hi: float = math.inf
     ) -> "ReportQuery":
         """Keep reports scanned within [day_lo, day_hi] of the window."""
         if day_hi < day_lo:

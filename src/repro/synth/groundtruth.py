@@ -70,7 +70,7 @@ def family_for(
     weights = [1.0 / (rank + 1) for rank in range(len(pool))]
     x = rng.random() * sum(weights)
     acc = 0.0
-    for name, w in zip(pool, weights):
+    for name, w in zip(pool, weights, strict=False):
         acc += w
         if x < acc:
             return name

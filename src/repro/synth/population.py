@@ -60,7 +60,7 @@ class PopulationGenerator:
                 FILE_TYPES[n].malicious_prob * config.malicious_rescan_boost
                 + (1.0 - FILE_TYPES[n].malicious_prob)
             )
-            for n, w in zip(names, weights)
+            for n, w in zip(names, weights, strict=False)
         ) / total_weight
 
     def _rng_for(self, index: int) -> random.Random:

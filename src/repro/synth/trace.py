@@ -78,7 +78,7 @@ def load_trace(path: str | Path) -> Iterator[SampleSpec]:
                 scan_times = [int(t) for t in record["scan_times"]]
                 if not scan_times:
                     raise KeyError("empty scan_times")
-                if any(b <= a for a, b in zip(scan_times, scan_times[1:])):
+                if any(b <= a for a, b in zip(scan_times, scan_times[1:], strict=False)):
                     raise KeyError("scan_times must be strictly increasing")
                 sample = Sample(
                     sha256=record["sha256"],

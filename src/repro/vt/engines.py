@@ -334,7 +334,7 @@ class EngineFleet:
         # Visible version bumps are a subsample of the delivery schedule:
         # every k-th DB push ships as a new engine version.
         self._version_schedules: list[list[int]] = []
-        for engine, schedule in zip(self.engines, self._schedules):
+        for engine, schedule in zip(self.engines, self._schedules, strict=False):
             stride = max(1, round(engine.version_interval_days
                                   / engine.update_interval_days))
             self._version_schedules.append(schedule[::stride])

@@ -24,7 +24,7 @@ class TestAVRankProfile:
         profile = avrank_stabilization_profile(pool)
         fractions = [profile.stabilized_fraction(r)
                      for r in FLUCTUATION_RANGES]
-        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert all(b >= a for a, b in zip(fractions, fractions[1:], strict=False))
 
     def test_experiment_r0_is_minority(self, experiment):
         profile = avrank_stabilization_profile(experiment.dataset_s)

@@ -22,8 +22,11 @@ def ctx(fleet):
     return BehaviorContext(fleet, BehaviorParams(), seed=42)
 
 
+_DAY30 = clock.minutes(days=30)
+
+
 def _sample(token: str, malicious: bool, file_type: str = "Win32 EXE",
-            first_seen: int = clock.minutes(days=30)) -> Sample:
+            first_seen: int = _DAY30) -> Sample:
     return Sample(
         sha256=sha256_of(token),
         file_type=file_type,
@@ -140,7 +143,7 @@ class TestPlanStructure:
                 # A 1 followed by 0 in-window means a visible retraction:
                 # allowed; a 0 followed by 1 after a 1 would be a hazard.
                 for a, b, c in zip(labels_in_window, labels_in_window[1:],
-                                   labels_in_window[2:]):
+                                   labels_in_window[2:], strict=False):
                     if a == c != b:
                         dips += 1
         assert total > 0

@@ -14,8 +14,11 @@ from repro.vt.behavior import (
 from repro.vt.samples import Sample, sha256_of
 
 
+_DAY40 = clock.minutes(days=40)
+
+
 def _sample(token, file_type="Win32 EXE",
-            first_seen=clock.minutes(days=40)):
+            first_seen=_DAY40):
     return Sample(sha256=sha256_of(token), file_type=file_type,
                   malicious=True, first_seen=first_seen)
 
@@ -34,7 +37,7 @@ class TestFlapping:
         labels = [lab for _, lab in timeline]
         # Alternating 1,0,1,0,... after the onset.
         assert labels[0] == 1
-        for a, b in zip(labels, labels[1:]):
+        for a, b in zip(labels, labels[1:], strict=False):
             assert a != b
 
     def test_flap_dips_are_day_scale(self, fleet):

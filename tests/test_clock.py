@@ -28,7 +28,7 @@ class TestWindowGeometry:
 
     def test_month_starts_strictly_increasing(self):
         starts = clock.MONTH_STARTS
-        assert all(b > a for a, b in zip(starts, starts[1:]))
+        assert all(b > a for a, b in zip(starts, starts[1:], strict=False))
 
     def test_first_month_is_may_31_days(self):
         assert clock.MONTH_STARTS[1] == 31 * clock.MINUTES_PER_DAY

@@ -37,7 +37,7 @@ class TestCatalogue:
     def test_minor_type_shares_decay(self):
         minor = [p.sample_share for name, p in ft.FILE_TYPES.items()
                  if name.startswith("TYPE_")]
-        assert all(b <= a for a, b in zip(minor, minor[1:]))
+        assert all(b <= a for a, b in zip(minor, minor[1:], strict=False))
 
     def test_every_type_has_valid_category(self):
         for profile in ft.FILE_TYPES.values():

@@ -1,0 +1,55 @@
+"""The repo lints itself: tier-1 runs reprolint over ``src/repro``.
+
+This is the static twin of the serial/parallel digest gate — the
+determinism contract is enforced on the *source*, not just observed in
+the outputs.  Two assertions:
+
+1. Zero undisabled findings over the shipped package (every genuine
+   exception carries an inline pragma with a justification).
+2. The JSON report is byte-deterministic across consecutive runs, the
+   same bar :mod:`repro.obs.export` holds metric exports to.
+"""
+
+from repro.lint import (
+    ALL_CODES,
+    RULE_SUMMARIES,
+    default_target,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+
+def test_package_is_lint_clean():
+    target = default_target()
+    result = lint_paths([target])
+    assert result.files_checked > 50, "self-check must see the whole package"
+    pretty = render_text(result)
+    assert result.findings == [], (
+        "reprolint found undisabled determinism-contract violations in "
+        f"src/repro — fix them or add a justified pragma:\n{pretty}"
+    )
+
+
+def test_suppressions_are_rare_and_accounted():
+    # Pragmas are an escape hatch, not a lifestyle: today's only
+    # sanctioned suppressions are the CLI's display-only elapsed-time
+    # banners.  If this ceiling is hit, audit before raising it.
+    result = lint_paths([default_target()])
+    assert 0 < len(result.suppressed) <= 10
+    assert {f.code for f in result.suppressed} <= {"RPL001"}
+    assert all(f.path == "repro/cli.py" for f in result.suppressed)
+
+
+def test_json_report_is_byte_deterministic():
+    target = default_target()
+    first = render_json(lint_paths([target]))
+    second = render_json(lint_paths([target]))
+    assert first.encode("utf-8") == second.encode("utf-8")
+    head = first.splitlines()[0]
+    assert '"schema":"reprolint/1"' in head
+
+
+def test_every_rule_has_a_summary():
+    assert ALL_CODES == frozenset(RULE_SUMMARIES)
+    assert sorted(ALL_CODES) == [f"RPL00{i}" for i in range(8)]

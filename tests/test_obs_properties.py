@@ -147,7 +147,7 @@ def test_histogram_accounting(values):
     for v in values:
         h.observe(v)
     cumulative = h.cumulative()
-    assert all(x <= y for x, y in zip(cumulative, cumulative[1:]))
+    assert all(x <= y for x, y in zip(cumulative, cumulative[1:], strict=False))
     assert cumulative[-1] == h.count == len(values)
     assert sum(h.counts) == h.count
     assert h.sum == sum(values)

@@ -34,7 +34,7 @@ def test_partition_covers_all_samples_contiguously():
     shards = partition_samples(101, 7)
     assert shards[0].start == 0
     assert shards[-1].stop == 101
-    for left, right in zip(shards, shards[1:]):
+    for left, right in zip(shards, shards[1:], strict=False):
         assert left.stop == right.start
     assert sum(s.size for s in shards) == 101
 

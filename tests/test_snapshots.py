@@ -41,7 +41,7 @@ class TestCampaign:
         store = campaign.run(_samples(1), start_day=0.0)
         times = [r.scan_time
                  for r in store.reports_for(sha256_of("snap0"))]
-        gaps = {b - a for a, b in zip(times, times[1:])}
+        gaps = {b - a for a, b in zip(times, times[1:], strict=False)}
         assert gaps == {2 * MINUTES_PER_DAY}
 
     def test_first_round_uploads_then_rescans(self, service):
@@ -76,7 +76,7 @@ class TestCampaign:
                                     duration_days=90)
         store = campaign.run(_samples(10), start_day=1.0)
         distinct_ranks = 0
-        for sha, reports in store.iter_sample_reports():
+        for _sha, reports in store.iter_sample_reports():
             series = AVRankSeries.from_reports(reports)
             distinct_ranks = max(distinct_ranks, len(set(series.ranks)))
         assert distinct_ranks >= 4

@@ -111,7 +111,7 @@ def test_merged_store_is_sealed_and_indexed():
                               block_records=BLOCK)
     assert merged.closed
     assert merged.sample_count == 9
-    for key, report in a + b:
+    for _key, report in a + b:
         assert report.sha256 in merged
         got = merged.reports_for(report.sha256)
         assert [r.scan_time for r in got] == [report.scan_time]

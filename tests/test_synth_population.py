@@ -68,7 +68,7 @@ class TestPaperMarginals:
     def test_scan_times_strictly_increasing(self, paper_specs):
         for spec in paper_specs:
             times = spec.scan_times
-            assert all(b > a for a, b in zip(times, times[1:]))
+            assert all(b > a for a, b in zip(times, times[1:], strict=False))
 
     def test_scan_times_inside_window(self, paper_specs):
         for spec in paper_specs:

@@ -56,7 +56,7 @@ class TestSchedule:
         for _ in range(100):
             times = schedule_scans(rng, config, first_seen=1000,
                                    n_reports=10, malicious=True)
-            assert all(b > a for a, b in zip(times, times[1:]))
+            assert all(b > a for a, b in zip(times, times[1:], strict=False))
 
     def test_stays_in_window(self, config):
         rng = random.Random(7)

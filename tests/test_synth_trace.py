@@ -30,7 +30,7 @@ class TestExportLoad:
         original = list(PopulationGenerator(config))
         loaded = list(load_trace(trace_path))
         assert len(loaded) == len(original)
-        for a, b in zip(original, loaded):
+        for a, b in zip(original, loaded, strict=False):
             assert a.sample.sha256 == b.sample.sha256
             assert a.sample.file_type == b.sample.file_type
             assert a.sample.malicious == b.sample.malicious
