@@ -1,0 +1,205 @@
+"""Serving-layer throughput: QPS and tail latency of the HTTP front-end.
+
+Measures the in-process request path (`ReportServer.handle_request`) over
+a generated store — routing, auth, rate-limit bookkeeping, the indexed
+point lookup and JSON encoding, everything except socket I/O — with a
+zipf-ish hot-hash workload mixing the three endpoints.  Reported per
+endpoint mix: QPS, p50/p99 latency, block-cache hit rate, and blocks
+decoded per request (the number the point-lookup index exists to hold
+near zero; the pre-index server full-scanned the store per request).
+
+Dual mode, like the other benches:
+
+* under pytest-benchmark (``pytest benchmarks/ --benchmark-only``) the
+  workload runs once under harness timing with sanity asserts;
+* as a script (``python benchmarks/bench_serve_qps.py``) it writes a
+  schema'd ``BENCH_serve.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.experiment import run_experiment
+from repro.serve import ReportServer, TenantRegistry
+from repro.synth.scenario import dynamics_scenario
+from repro.vt.feed import FeedArchive
+
+try:  # pytest mode — absent when run as a plain script
+    from conftest import run_once, say
+except ImportError:  # pragma: no cover - script mode
+    run_once = None
+
+    def say(*args: object) -> None:
+        print(*args)
+
+#: Schema identifier for the benchmark artifact (shared across benches).
+RESULTS_SCHEMA = "repro-bench/1"
+
+#: Store scale and request count, overridable for quick runs.
+SERVE_SAMPLES = int(os.environ.get("REPRO_BENCH_SERVE_SAMPLES", "4000"))
+SERVE_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "5000"))
+SERVE_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+#: Share of requests going to each endpoint (file / series / feed).
+MIX = (0.70, 0.20, 0.10)
+
+#: Hot set: requests draw from this many distinct hashes, rank-weighted
+#: so a few hashes dominate (the serving cache's reason to exist).
+HOT_HASHES = 64
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * (len(sorted_vals) - 1) + 0.5))
+    return sorted_vals[idx]
+
+
+def build_server() -> tuple[ReportServer, list[str], list[int]]:
+    """A premium-keyed server over a generated store plus its workload
+    inputs (hot hashes rank-weighted, feed minutes)."""
+    data = run_experiment(dynamics_scenario(SERVE_SAMPLES, seed=SERVE_SEED))
+    store = data.store
+    tenants = TenantRegistry()
+    tenants.add("bench", "premium")
+    archive = FeedArchive.from_store(store)
+    server = ReportServer(store, tenants, archive, clock=lambda: 0.0)
+    shas = sorted(store.samples())[:HOT_HASHES]
+    # Rank weighting: hash k appears (HOT_HASHES - k) times in the pool.
+    pool = [sha for k, sha in enumerate(shas)
+            for _ in range(len(shas) - k)]
+    minutes = list(range(archive.oldest_available,
+                         archive.horizon + 1))[-256:]
+    return server, pool, minutes
+
+
+def run_workload(server: ReportServer, pool: list[str],
+                 minutes: list[int], n_requests: int) -> dict:
+    """Fire the mixed workload; returns aggregate timings and counters."""
+    headers = {"x-apikey": "bench"}
+    n_file = int(n_requests * MIX[0])
+    n_series = int(n_requests * MIX[1])
+    n_feed = n_requests - n_file - n_series
+    paths = (
+        [f"/files/{pool[i % len(pool)]}" for i in range(n_file)]
+        + [f"/files/{pool[(i * 7) % len(pool)]}/series"
+           for i in range(n_series)]
+        + [f"/feeds/files/{minutes[i % len(minutes)]}"
+           for i in range(n_feed)]
+    )
+    # Deterministic interleave (no RNG): stride through the path list.
+    stride = 7919  # prime, coprime with any realistic request count
+    order = [(i * stride) % len(paths) for i in range(len(paths))]
+
+    store = server.store
+    store.drop_caches()
+    decoded_before = store.cache_stats().blocks_decoded
+    hits_before = store.cache_stats().hits
+    lookups_before = hits_before + store.cache_stats().misses
+
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    started = time.perf_counter()
+    for idx in order:
+        t0 = time.perf_counter()
+        status, _, _ = server.handle_request("GET", paths[idx], headers)
+        latencies.append(time.perf_counter() - t0)
+        statuses[status] = statuses.get(status, 0) + 1
+    wall = time.perf_counter() - started
+
+    stats = store.cache_stats()
+    lookups = (stats.hits + stats.misses) - lookups_before
+    hits = stats.hits - hits_before
+    latencies.sort()
+    return {
+        "requests": len(paths),
+        "wall_seconds": round(wall, 4),
+        "qps": round(len(paths) / wall, 1) if wall else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 4),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 4),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "blocks_decoded": stats.blocks_decoded - decoded_before,
+        "blocks_decoded_per_request": round(
+            (stats.blocks_decoded - decoded_before) / len(paths), 4),
+        "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        "mix": {"file": n_file, "series": n_series, "feed": n_feed},
+    }
+
+
+def run_serve_bench(n_requests: int = SERVE_REQUESTS) -> dict:
+    server, pool, minutes = build_server()
+    entry = run_workload(server, pool, minutes, n_requests)
+    entry["name"] = "serve_qps_mixed"
+    entry["hot_hashes"] = HOT_HASHES
+    return {
+        "schema": RESULTS_SCHEMA,
+        "suite": "serve",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "store_samples": SERVE_SAMPLES,
+        "store_reports": server.store.report_count,
+        "benchmarks": [entry],
+    }
+
+
+def render(results: dict) -> None:
+    entry = results["benchmarks"][0]
+    say()
+    say(f"serve QPS bench ({entry['requests']:,} requests over "
+        f"{results['store_reports']:,} stored reports, "
+        f"{entry['hot_hashes']} hot hashes)")
+    say(f"  mix file/series/feed: {entry['mix']['file']}/"
+        f"{entry['mix']['series']}/{entry['mix']['feed']}")
+    say(f"  QPS {entry['qps']:,.0f}  "
+        f"p50 {entry['p50_ms']:.3f}ms  p99 {entry['p99_ms']:.3f}ms")
+    say(f"  cache hit rate {entry['cache_hit_rate']:.2%}  "
+        f"blocks decoded/request {entry['blocks_decoded_per_request']}")
+
+
+def test_serve_qps(benchmark):
+    """pytest-benchmark entry point: one timed mixed workload."""
+    server, pool, minutes = build_server()
+    n = min(SERVE_REQUESTS, 2000)
+    entry = run_once(benchmark, lambda: run_workload(server, pool,
+                                                     minutes, n))
+    say()
+    say(f"  QPS {entry['qps']:,.0f}  p50 {entry['p50_ms']:.3f}ms  "
+        f"p99 {entry['p99_ms']:.3f}ms  "
+        f"hit rate {entry['cache_hit_rate']:.2%}")
+    assert entry["statuses"].keys() == {"200"}
+    # The index contract at workload scale: with a hot-hash working set
+    # the store decodes far fewer blocks than it serves requests.
+    assert entry["blocks_decoded_per_request"] < 1.0
+    assert entry["cache_hit_rate"] > 0.5
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the serving layer's in-process QPS and "
+                    "write a schema'd BENCH_serve.json.")
+    parser.add_argument("--requests", type=int, default=SERVE_REQUESTS,
+                        help=f"workload size (default: {SERVE_REQUESTS})")
+    parser.add_argument("--output", default="BENCH_serve.json",
+                        help="artifact path (default: BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    results = run_serve_bench(args.requests)
+    render(results)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n",
+                                 encoding="utf-8")
+    say(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

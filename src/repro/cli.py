@@ -13,6 +13,8 @@ Subcommands mirror the reproduction workflow:
 * ``metrics`` — the observability registry of a run (or a loaded
   store's accounting gauges) as a summary tree, Prometheus text or
   JSONL;
+* ``serve`` — serve a saved store over HTTP (latest report, AV-Rank
+  series, premium per-minute feed) with API keys and tiered quotas;
 * ``lint`` — reprolint, the static determinism/invariant linter, over
   this package's own source (or ``--paths``);
 * ``all`` — everything above in one run.
@@ -54,6 +56,7 @@ from repro.obs import (
 )
 from repro.store.reportstore import ReportStore
 from repro.synth.scenario import dynamics_scenario, paper_scenario
+from repro.vt.feed import DEFAULT_ARCHIVE_RETENTION_MINUTES
 from repro.vt.engines import default_fleet
 from repro.vt.filetypes import TOP20_FILE_TYPES
 
@@ -123,6 +126,30 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("dynamics", help="Figures 2-8")
     sub.add_parser("stabilization", help="Figure 9, Observation 8")
     sub.add_parser("engines", help="Figures 10-11, Tables 4-8")
+    serve = sub.add_parser(
+        "serve",
+        help="serve a saved store over HTTP: GET /files/{sha256}, "
+             "/files/{sha256}/series, /feeds/files/{minute} "
+             "(premium keys only)")
+    serve.add_argument("store_path", help="saved report store to serve")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8228,
+                       help="bind port; 0 picks a free port "
+                            "(default: 8228)")
+    serve.add_argument("--api-key", action="append", default=None,
+                       metavar="KEY:TIER",
+                       help="register an API key (repeatable; tier is "
+                            "'free' — 500/day at 4/min — or 'premium'). "
+                            "Default: demo-free:free demo-premium:premium")
+    serve.add_argument("--no-feed", action="store_true",
+                       help="disable the /feeds endpoint (skips building "
+                            "the archive)")
+    serve.add_argument("--feed-retention", type=int,
+                       default=DEFAULT_ARCHIVE_RETENTION_MINUTES,
+                       metavar="MINUTES",
+                       help="feed archive retention window in simulated "
+                            "minutes (default: 7 days)")
     met = sub.add_parser(
         "metrics",
         help="print the metrics registry of a run (or of a loaded store)")
@@ -335,6 +362,39 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace, metrics=None) -> int:
+    from repro.serve import ReportServer, TenantRegistry
+    from repro.vt.feed import FeedArchive
+
+    store = ReportStore.load(args.store_path, metrics=metrics)
+    tenants = TenantRegistry()
+    specs = args.api_key or ["demo-free:free", "demo-premium:premium"]
+    for spec in specs:
+        tenants.add_spec(spec)
+    archive = None
+    if not args.no_feed:
+        archive = FeedArchive.from_store(
+            store, retention_minutes=args.feed_retention)
+    server = ReportServer(store, tenants, archive,
+                          host=args.host, port=args.port, metrics=metrics)
+    host, port = server.address
+    print(f"serving {store.report_count:,} reports "
+          f"({store.sample_count:,} samples) from {args.store_path} "
+          f"at http://{host}:{port}")
+    if archive is not None:
+        print(f"feed archive: minutes {archive.oldest_available}"
+              f"..{archive.horizon} ({archive.minutes_retained():,} retained)")
+    for tenant in tenants.tenants():
+        print(f"  api key {tenant.key}  tier={tenant.tier.name}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+    return 0
+
+
 def cmd_digest(args: argparse.Namespace) -> int:
     digest = ReportStore.load(args.path).digest()
     if args.path2 is None:
@@ -384,6 +444,8 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
         return cmd_metrics(args, registry)
     if args.command == "collect":
         return cmd_collect(args, metrics=registry)
+    if args.command == "serve":
+        return cmd_serve(args, metrics=registry)
     if args.command == "generate":
         data = run_experiment(_config(args), workers=_workers(args),
                               metrics=registry)

@@ -83,8 +83,12 @@ class PathPolicy:
 
 #: The default per-rule path policy — the sanctioned-owner carve-outs.
 DEFAULT_POLICIES: dict[str, PathPolicy] = {
-    # Injectable clocks are the one sanctioned home of wall-clock reads.
-    "RPL001": PathPolicy(exclude=("repro/vt/clock.py", "repro/obs/timing.py")),
+    # Injectable clocks are the sanctioned home of wall-clock reads; the
+    # serving-layer rate limiter meters real elapsed time by definition
+    # (its default clock is injectable and overridden in every test), so
+    # it is a structural carve-out here rather than a pragma.
+    "RPL001": PathPolicy(exclude=("repro/vt/clock.py", "repro/obs/timing.py",
+                                  "repro/serve/ratelimit.py")),
     "RPL002": PathPolicy(),
     "RPL003": PathPolicy(),
     "RPL004": PathPolicy(),

@@ -1,0 +1,44 @@
+"""The HTTP serving layer: the store substrate as an online service.
+
+The paper's measurement subject is an online anti-malware API with API
+keys, tiered quotas and a premium feed; this subpackage closes the loop
+by serving a frozen :class:`~repro.store.ReportStore` through exactly
+that interface.  :mod:`repro.serve.auth` holds tenants and the
+free/premium tier table, :mod:`repro.serve.ratelimit` enforces the dual
+per-minute/per-day token buckets, and :mod:`repro.serve.http` routes the
+three endpoints over a stdlib threaded HTTP server.  Start one from the
+CLI with ``repro-vt serve``.
+"""
+
+from repro.serve.auth import (
+    FREE_TIER,
+    PREMIUM_TIER,
+    TIERS,
+    Tenant,
+    TenantRegistry,
+    TierLimits,
+)
+from repro.serve.http import API_KEY_HEADER, ReportServer, report_doc, series_doc
+from repro.serve.ratelimit import (
+    RateDecision,
+    TenantLimiter,
+    TokenBucket,
+    real_clock,
+)
+
+__all__ = [
+    "API_KEY_HEADER",
+    "FREE_TIER",
+    "PREMIUM_TIER",
+    "TIERS",
+    "RateDecision",
+    "ReportServer",
+    "Tenant",
+    "TenantLimiter",
+    "TenantRegistry",
+    "TierLimits",
+    "TokenBucket",
+    "real_clock",
+    "report_doc",
+    "series_doc",
+]

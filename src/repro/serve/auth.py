@@ -1,0 +1,114 @@
+"""Tenants, API keys and quota tiers for the serving layer.
+
+The measurement subject of the paper *is* an online scanning API with a
+tiered quota model, and the repo already mirrors the account side in
+:class:`repro.vt.api.APIKey` (free keys: 500 requests/day).  The serving
+layer needs the richer published shape — the real free tier is **500
+requests per day at a rate of 4 per minute** (SNIPPETS.md snippet 3
+quotes the exact wording from a real client), while premium keys are
+effectively uncapped — so tiers here carry both windows and the token
+buckets in :mod:`repro.serve.ratelimit` enforce them.
+
+A :class:`Tenant` is one API key bound to a tier; the
+:class:`TenantRegistry` is the server's key table.  Authentication is the
+real service's header convention (``x-apikey``): a missing key is 401,
+an unknown key is 403 — distinguishable failures, mirroring how the real
+API responds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: The real public free-tier quota: requests per day.
+FREE_DAILY_QUOTA = 500
+
+#: The real public free-tier rate: requests per minute.
+FREE_PER_MINUTE = 4
+
+
+@dataclass(frozen=True)
+class TierLimits:
+    """One quota class: rate and daily windows (``None`` = unlimited)."""
+
+    name: str
+    per_minute: int | None
+    per_day: int | None
+
+    @property
+    def unlimited(self) -> bool:
+        return self.per_minute is None and self.per_day is None
+
+
+#: The public free tier: 500/day at 4/minute.
+FREE_TIER = TierLimits("free", per_minute=FREE_PER_MINUTE,
+                       per_day=FREE_DAILY_QUOTA)
+
+#: The premium tier: uncapped, plus feed access.
+PREMIUM_TIER = TierLimits("premium", per_minute=None, per_day=None)
+
+TIERS: dict[str, TierLimits] = {
+    FREE_TIER.name: FREE_TIER,
+    PREMIUM_TIER.name: PREMIUM_TIER,
+}
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One API key bound to a quota tier."""
+
+    key: str
+    tier: TierLimits
+
+    @property
+    def premium(self) -> bool:
+        """Whether the key may touch premium surfaces (the feed)."""
+        return self.tier.name == PREMIUM_TIER.name
+
+
+class TenantRegistry:
+    """The server's API-key table."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, Tenant] = {}
+
+    def add(self, key: str, tier: str | TierLimits) -> Tenant:
+        """Register one key; ``tier`` is a name (``free``/``premium``)
+        or a :class:`TierLimits` for custom quota classes."""
+        if not key:
+            raise ConfigError("API key must be non-empty")
+        if isinstance(tier, str):
+            try:
+                tier = TIERS[tier]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown tier {tier!r}; known tiers: "
+                    f"{', '.join(sorted(TIERS))}") from None
+        if key in self._tenants:
+            raise ConfigError(f"duplicate API key {key!r}")
+        tenant = Tenant(key=key, tier=tier)
+        self._tenants[key] = tenant
+        return tenant
+
+    def add_spec(self, spec: str) -> Tenant:
+        """Register from a ``KEY:TIER`` CLI spec (``mykey:free``)."""
+        key, sep, tier = spec.partition(":")
+        if not sep:
+            raise ConfigError(
+                f"bad API key spec {spec!r}: expected KEY:TIER")
+        return self.add(key, tier)
+
+    def lookup(self, key: str | None) -> Tenant | None:
+        """The tenant for ``key``, or ``None`` if unknown/missing."""
+        if key is None:
+            return None
+        return self._tenants.get(key)
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def tenants(self) -> list[Tenant]:
+        """All tenants, sorted by key (deterministic listing)."""
+        return [self._tenants[k] for k in sorted(self._tenants)]

@@ -1,0 +1,171 @@
+"""Token-bucket quota enforcement for the serving layer.
+
+The real service's free tier is a *dual* window — 4 requests/minute and
+500 requests/day — so each tenant carries one token bucket per window
+and a request must clear **all** of them.  Enforcement is
+check-everything-then-consume: a request that would be refused by any
+bucket consumes from none, so a burst that trips the minute window does
+not silently drain the day quota.
+
+Clock policy: this module is the serving layer's *sanctioned owner* of
+wall-clock reads.  The determinism contract (reprolint RPL001) bans
+``time.monotonic`` in library code because simulation results must not
+depend on the host clock — but a rate limiter's entire job is to meter
+real elapsed time, exactly like the span timers in
+:mod:`repro.obs.timing`.  The clock is injected (tests drive a fake;
+the default is the real monotonic clock), and ``repro/serve/ratelimit.py``
+is carved out via the RPL001 :class:`~repro.lint.config.PathPolicy` —
+a structural exclusion, not a per-line pragma, because the whole file is
+the sanctioned surface.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.serve.auth import Tenant, TierLimits
+
+#: Seconds per quota window.
+MINUTE_SECONDS = 60.0
+DAY_SECONDS = 86400.0
+
+#: A clock: zero-arg callable returning monotonic seconds.
+ClockFn = Callable[[], float]
+
+
+def real_clock() -> float:
+    """The default serving clock (host monotonic seconds)."""
+    return time.monotonic()
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """The limiter's verdict on one request."""
+
+    allowed: bool
+    #: Seconds until a retry could succeed (0.0 when allowed).  The HTTP
+    #: layer ceils this into the ``Retry-After`` header.
+    retry_after: float = 0.0
+
+    @property
+    def retry_after_seconds(self) -> int:
+        """``retry_after`` as the integer HTTP header value (ceiled,
+        at least 1 for a refusal so clients never busy-spin)."""
+        if self.allowed:
+            return 0
+        return max(1, math.ceil(self.retry_after))
+
+
+ALLOWED = RateDecision(allowed=True)
+
+
+class TokenBucket:
+    """One refilling quota window.
+
+    Starts full (``capacity`` tokens); refills continuously at
+    ``capacity / window_seconds`` tokens per second, capped at
+    ``capacity``.  Continuous refill matches how the real service's
+    per-minute limit behaves in practice (a 4/min key can fire every
+    15 s indefinitely) and makes ``retry_after`` exact rather than
+    "start of next window".
+    """
+
+    def __init__(self, capacity: int, window_seconds: float,
+                 clock: ClockFn) -> None:
+        self.capacity = float(capacity)
+        self.refill_per_second = capacity / window_seconds
+        self._clock = clock
+        self._tokens = self.capacity
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.capacity,
+                               self._tokens + elapsed * self.refill_per_second)
+        self._updated = now
+
+    def peek(self) -> float:
+        """Current token count after refill (no consumption)."""
+        self._refill(self._clock())
+        return self._tokens
+
+    def can_consume(self) -> bool:
+        return self.peek() >= 1.0
+
+    def consume(self) -> None:
+        """Take one token.  Callers must have checked first."""
+        self._refill(self._clock())
+        self._tokens -= 1.0
+
+    def seconds_until_token(self) -> float:
+        """Time until one full token is available (0.0 if already)."""
+        tokens = self.peek()
+        if tokens >= 1.0:
+            return 0.0
+        return (1.0 - tokens) / self.refill_per_second
+
+
+class TenantLimiter:
+    """Per-tenant dual-window rate limiting over the tier table.
+
+    Thread-safe: the HTTP layer serves from a thread pool, and one lock
+    covers bucket creation and the check-then-consume sequence so two
+    threads cannot both spend the last token.
+    """
+
+    def __init__(self, clock: ClockFn | None = None) -> None:
+        self._clock: ClockFn = clock if clock is not None else real_clock
+        self._buckets: dict[str, list[TokenBucket]] = {}
+        self._lock = threading.Lock()
+
+    def _buckets_for(self, tenant: Tenant) -> list[TokenBucket]:
+        buckets = self._buckets.get(tenant.key)
+        if buckets is None:
+            buckets = []
+            tier: TierLimits = tenant.tier
+            if tier.per_minute is not None:
+                buckets.append(
+                    TokenBucket(tier.per_minute, MINUTE_SECONDS, self._clock))
+            if tier.per_day is not None:
+                buckets.append(
+                    TokenBucket(tier.per_day, DAY_SECONDS, self._clock))
+            self._buckets[tenant.key] = buckets
+        return buckets
+
+    def check(self, tenant: Tenant) -> RateDecision:
+        """Admit or refuse one request for ``tenant``.
+
+        All of the tenant's windows are checked before any is consumed;
+        on refusal ``retry_after`` is the *worst* (longest) wait over the
+        refusing windows, since every window must admit the retry.
+        """
+        with self._lock:
+            buckets = self._buckets_for(tenant)
+            if not buckets:
+                return ALLOWED
+            waits = [b.seconds_until_token() for b in buckets
+                     if not b.can_consume()]
+            if waits:
+                return RateDecision(allowed=False, retry_after=max(waits))
+            for bucket in buckets:
+                bucket.consume()
+            return ALLOWED
+
+    def remaining(self, tenant: Tenant) -> dict[str, float]:
+        """Current token counts per window (diagnostics; ``{}`` when
+        unlimited)."""
+        with self._lock:
+            buckets = self._buckets_for(tenant)
+            names = []
+            tier = tenant.tier
+            if tier.per_minute is not None:
+                names.append("minute")
+            if tier.per_day is not None:
+                names.append("day")
+            return {name: bucket.peek()
+                    for name, bucket in zip(names, buckets, strict=True)}

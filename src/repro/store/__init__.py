@@ -15,7 +15,9 @@ from repro.store.codec import (
     encode_report,
     verbose_json_size,
 )
+from repro.store.index import IndexEntry, decode_index, encode_index
 from repro.store.merge import FrozenMonth, FrozenShard, MergeStats, concat_frozen
+from repro.store.query import ReportQuery
 from repro.store.reportstore import ReportStore
 from repro.store.shard import CompressedBlock, MonthlyShard
 from repro.store.stats import MonthStats, StoreStats
@@ -24,8 +26,12 @@ __all__ = [
     "decode_report",
     "encode_report",
     "verbose_json_size",
+    "decode_index",
+    "encode_index",
     "BlockCache",
     "CacheStats",
+    "IndexEntry",
+    "ReportQuery",
     "FrozenMonth",
     "FrozenShard",
     "MergeStats",

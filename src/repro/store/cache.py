@@ -175,3 +175,24 @@ class BlockCache:
     @property
     def bytes_resident(self) -> int:
         return self._resident
+
+    @property
+    def lookups(self) -> int:
+        """Total :meth:`get` probes (hits + misses) over the cache's life.
+
+        Cumulative like the event counters: :meth:`clear` drops residency
+        but never rewinds these, so a long-lived serving process reports
+        its true lifetime traffic after cache flushes.
+        """
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Hits over lifetime lookups; 0.0 on a never-probed cache.
+
+        Guarded against zero lookups so gauges published off an idle or
+        freshly-constructed cache can never divide by zero.
+        """
+        lookups = self.lookups
+        if not lookups:
+            return 0.0
+        return self.hits / lookups

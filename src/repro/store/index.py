@@ -1,0 +1,139 @@
+"""The persistent point-lookup index: sha256 → report addresses.
+
+The store has always kept an in-memory per-sample index (the grouping
+structure behind every per-sample analysis), but it was rebuilt on every
+:meth:`~repro.store.reportstore.ReportStore.load` by decompressing *every
+block* and peeking every record — fine for batch analyses that stream the
+whole store anyway, hostile to a serving layer whose working set is a few
+hot hashes.
+
+This module makes the index a first-class persisted artefact:
+
+* each index entry is ``(month, block, slot, scan_time)`` — the block
+  address the store already used, plus the report's scan minute, so the
+  *latest* report of a sample can be located without decoding anything;
+* :func:`encode_index` / :func:`decode_index` round-trip the whole index
+  (addresses, scan times, and the per-sample metadata the paper stores
+  separately) through a compact zlib-compressed binary section that
+  ``save()`` embeds in the store file (format v2) right after the JSON
+  header;
+* a v2 ``load()`` therefore touches **zero** blocks, and a point lookup
+  (:meth:`~repro.store.reportstore.ReportStore.latest_report`) decodes at
+  most one — the property the ``repro.serve`` front-end and its QPS
+  benchmark are built on.
+
+Old (v1) files simply lack the section; the store falls back to building
+the index lazily from record peeks on first per-sample access.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import CorruptRecordError
+
+#: Magic prefix of an encoded (uncompressed) index section.
+INDEX_MAGIC = b"RPRIDX01"
+
+#: Schema number stored in the file header next to the section.
+INDEX_FORMAT = 1
+
+#: One index entry: (month, block, slot, scan_time).
+IndexEntry = tuple[int, int, int, int]
+
+#: Per-sample fixed header: sha256 (raw), file-type length, freshness
+#: flag, entry count.
+_SAMPLE_HEADER = struct.Struct("<32sHBI")
+
+#: One packed entry: month, block, slot, scan_time.
+_ENTRY = struct.Struct("<iIIq")
+
+#: zlib level for the index section.  Entries are highly repetitive
+#: (runs of near-identical addresses), so cheap compression wins big.
+_ZLIB_LEVEL = 6
+
+
+def encode_index(
+    index: dict[str, list[IndexEntry]],
+    sample_meta: dict[str, tuple[str, bool]],
+) -> bytes:
+    """Pack the per-sample index into one compressed binary section.
+
+    Samples are written in the mapping's insertion order — first-ingest
+    order — which :func:`decode_index` preserves, so a loaded store's
+    :meth:`~repro.store.reportstore.ReportStore.samples` iteration order
+    matches the store that saved it.
+    """
+    parts = [INDEX_MAGIC, struct.pack("<I", len(index))]
+    for sha, entries in index.items():
+        ftype, fresh = sample_meta[sha]
+        ftype_bytes = ftype.encode("utf-8")
+        parts.append(_SAMPLE_HEADER.pack(
+            bytes.fromhex(sha), len(ftype_bytes), 1 if fresh else 0,
+            len(entries)))
+        parts.append(ftype_bytes)
+        for month, block, slot, scan_time in entries:
+            parts.append(_ENTRY.pack(month, block, slot, scan_time))
+    return zlib.compress(b"".join(parts), _ZLIB_LEVEL)
+
+
+def decode_index(
+    payload: bytes,
+) -> tuple[dict[str, list[IndexEntry]], dict[str, tuple[str, bool]]]:
+    """Unpack a section written by :func:`encode_index`.
+
+    Returns ``(index, sample_meta)`` with samples in the order they were
+    encoded.  Raises :class:`~repro.errors.CorruptRecordError` on any
+    structural damage — a truncated or bit-flipped index must never load
+    as a silently smaller one.
+    """
+    try:
+        raw = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise CorruptRecordError(f"undecodable store index: {exc}") from exc
+    if raw[:len(INDEX_MAGIC)] != INDEX_MAGIC:
+        raise CorruptRecordError("bad store index magic")
+    offset = len(INDEX_MAGIC)
+    try:
+        (n_samples,) = struct.unpack_from("<I", raw, offset)
+        offset += 4
+        index: dict[str, list[IndexEntry]] = {}
+        meta: dict[str, tuple[str, bool]] = {}
+        for _ in range(n_samples):
+            sha_raw, ftype_len, fresh, n_entries = _SAMPLE_HEADER.unpack_from(
+                raw, offset)
+            offset += _SAMPLE_HEADER.size
+            ftype = raw[offset:offset + ftype_len].decode("utf-8")
+            if len(ftype.encode("utf-8")) != ftype_len:
+                raise CorruptRecordError("truncated store index")
+            offset += ftype_len
+            entries: list[IndexEntry] = []
+            for _ in range(n_entries):
+                entries.append(_ENTRY.unpack_from(raw, offset))
+                offset += _ENTRY.size
+            sha = sha_raw.hex()
+            index[sha] = entries
+            meta[sha] = (ftype, fresh == 1)
+    except struct.error as exc:
+        raise CorruptRecordError(f"truncated store index: {exc}") from exc
+    if offset != len(raw):
+        raise CorruptRecordError(
+            f"store index has {len(raw) - offset} trailing bytes")
+    return index, meta
+
+
+def latest_entry(entries: list[IndexEntry]) -> IndexEntry:
+    """The entry of a sample's *latest* report.
+
+    Latest means maximal scan time; among duplicates of the same minute
+    (possible via plain :meth:`~repro.store.reportstore.ReportStore.ingest`,
+    never via ``ingest_unique``) the one ingested last wins — the same
+    report a time-sorted :meth:`report_series` ends with, since the sort
+    is stable over ingest order.
+    """
+    best = entries[0]
+    for entry in entries[1:]:
+        if entry[3] >= best[3]:
+            best = entry
+    return best

@@ -189,9 +189,11 @@ def concat_frozen(
 
         def register(stream: _Stream, at: int, slot_address) -> None:
             sha = stream.shas[at]
-            store._index.setdefault(sha, []).append(slot_address)
-            store._scan_index.setdefault(sha, set()).add(
-                stream.scan_times[at])
+            scan_time = stream.scan_times[at]
+            # Index entries carry the scan time so point lookups
+            # (latest_report) never decode a block to find "latest".
+            store._index.setdefault(sha, []).append(slot_address + (scan_time,))
+            store._scan_index.setdefault(sha, set()).add(scan_time)
             if sha not in store._sample_meta:
                 store._sample_meta[sha] = stream.meta[sha]
 

@@ -37,6 +37,10 @@ class ReportQuery:
 
     store: ReportStore
     _predicates: tuple[Predicate, ...] = field(default=())
+    #: Explicit sample restriction: ``None`` means "every sample" (a
+    #: full streaming scan); a tuple routes evaluation through the
+    #: store's point-lookup index instead.
+    _hashes: tuple[str, ...] | None = field(default=None)
 
     # ------------------------------------------------------------------
     # Refinements
@@ -45,6 +49,29 @@ class ReportQuery:
     def where(self, predicate: Predicate) -> "ReportQuery":
         """Add an arbitrary report predicate."""
         return replace(self, _predicates=self._predicates + (predicate,))
+
+    def samples_only(self, *shas: str) -> "ReportQuery":
+        """Restrict the query to the given sample hashes.
+
+        Unlike a ``where`` predicate on ``r.sha256`` — which still
+        streams and decodes *every block in the store* — this routes
+        evaluation through the store's per-sample index, decoding only
+        the blocks that actually hold the named samples' reports.  (The
+        pre-index serving prototype did exactly that predicate full
+        scan per hot-hash request; this refinement is the fix.)
+
+        Hashes are kept in the order given (first occurrence wins on
+        duplicates); hashes the store has never seen simply match
+        nothing, consistent with filter semantics.  Restricting an
+        already-restricted query intersects, preserving the new order.
+        """
+        if not shas:
+            raise ConfigError("samples_only needs at least one hash")
+        seen: dict[str, None] = {}
+        for sha in shas:
+            if self._hashes is None or sha in self._hashes:
+                seen.setdefault(sha)
+        return replace(self, _hashes=tuple(seen))
 
     def file_types(self, *names: str) -> "ReportQuery":
         """Keep reports of the given file types."""
@@ -93,7 +120,20 @@ class ReportQuery:
     def _match(self, report: ScanReport) -> bool:
         return all(p(report) for p in self._predicates)
 
+    def _restricted_series(self) -> Iterator[tuple[str, list[ScanReport]]]:
+        """Per-sample series of the :meth:`samples_only` restriction,
+        fetched through the point-lookup index (no full scan)."""
+        for sha in self._hashes:
+            if sha in self.store:
+                yield sha, self.store.report_series(sha)
+
     def __iter__(self) -> Iterator[ScanReport]:
+        if self._hashes is not None:
+            for _, reports in self._restricted_series():
+                for report in reports:
+                    if self._match(report):
+                        yield report
+            return
         for report in self.store.iter_reports():
             if self._match(report):
                 yield report
@@ -121,12 +161,20 @@ class ReportQuery:
         :meth:`sample_hashes` + ``store.reports_for`` for whole-sample
         retrieval instead).
 
-        Streams through the store's bounded block-order grouping rather
-        than materialising one dict of every matching report, so memory
-        is bounded by the samples live in the current block window (see
-        :meth:`ReportStore.iter_sample_reports`); samples arrive in
-        completion order.
+        Unrestricted queries stream through the store's bounded
+        block-order grouping rather than materialising one dict of every
+        matching report, so memory is bounded by the samples live in the
+        current block window (see :meth:`ReportStore.iter_sample_reports`);
+        samples arrive in completion order.  Queries restricted with
+        :meth:`samples_only` skip the scan entirely and fetch each named
+        sample through the point-lookup index, in the requested order.
         """
+        if self._hashes is not None:
+            for sha256, reports in self._restricted_series():
+                matching = [r for r in reports if self._match(r)]
+                if matching:
+                    yield sha256, matching
+            return
         for sha256, reports in self.store.iter_sample_reports():
             matching = [r for r in reports if self._match(r)]
             if matching:

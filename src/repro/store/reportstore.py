@@ -12,8 +12,13 @@ blocks, and maintains two index structures the paper's pipeline also kept:
 
 The store can persist itself to a single file and reload it; the on-disk
 format is self-describing (JSON header + length-prefixed compressed
-blocks), and the per-sample index is rebuilt on load from cheap record
-peeks rather than stored redundantly.
+blocks).  Since format v2 the per-sample index — addresses *and* scan
+times (:mod:`repro.store.index`) — is persisted right after the header,
+so loading touches no blocks and a point lookup
+(:meth:`latest_report` / :meth:`report_series`) decodes at most the
+blocks actually holding the sample's reports.  v1 files, which carry no
+index section, still load: the index is then rebuilt lazily from cheap
+record peeks on first per-sample access.
 
 Retrieval is **write-aware and memory-bounded**: the decoded-block LRU
 (:mod:`repro.store.cache`) admits only immutable frozen blocks — reads
@@ -35,13 +40,24 @@ from repro.errors import CorruptRecordError, ShardClosedError, UnknownSampleErro
 from repro.obs import NULL_REGISTRY, traced
 from repro.store import codec
 from repro.store.cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats
+from repro.store.index import (
+    INDEX_FORMAT,
+    IndexEntry,
+    decode_index,
+    encode_index,
+    latest_entry,
+)
 from repro.store.shard import DEFAULT_BLOCK_RECORDS, CompressedBlock, MonthlyShard
 from repro.store.stats import StoreStats, compute_store_stats
 from repro.vt.clock import month_index, month_label
 from repro.vt.reports import ScanReport
 
 _FILE_MAGIC = b"RPRSTORE"
-_FILE_VERSION = 1
+#: Current on-disk format: v2 embeds the point-lookup index section.
+_FILE_VERSION = 2
+#: Formats :meth:`ReportStore.load` accepts.  v1 (the original format)
+#: has no index section — the index is rebuilt lazily instead.
+_SUPPORTED_VERSIONS = (1, 2)
 
 Address = tuple[int, int, int]  # (month, block, slot)
 
@@ -60,9 +76,12 @@ class ReportStore:
     ) -> None:
         self.block_records = block_records
         self.shards: dict[int, MonthlyShard] = {}
-        self._index: dict[str, list[Address]] = {}
+        self._index: dict[str, list[IndexEntry]] = {}
         self._sample_meta: dict[str, tuple[str, bool]] = {}
         self._scan_index: dict[str, set[int]] = {}
+        #: False only on a store loaded from a v1 file, until the first
+        #: per-sample access triggers the lazy rebuild.
+        self._index_ready = True
         self._cache = BlockCache(max_bytes=cache_bytes)
         self._blocks_decoded = 0
         self._open_reads = 0
@@ -88,6 +107,7 @@ class ReportStore:
         """Add one report to the store."""
         if self.closed:
             raise ShardClosedError("store is closed")
+        self._ensure_index()
         month = month_index(report.scan_time)
         shard = self.shards.get(month)
         if shard is None:
@@ -106,7 +126,8 @@ class ReportStore:
         # pins the invalidation contract (any mutation of block `block`
         # must drop a cached decode of it) independent of cache policy.
         self._cache.invalidate((month, block))
-        self._index.setdefault(report.sha256, []).append((month, block, slot))
+        self._index.setdefault(report.sha256, []).append(
+            (month, block, slot, report.scan_time))
         self._scan_index.setdefault(report.sha256, set()).add(report.scan_time)
         if report.sha256 not in self._sample_meta:
             self._sample_meta[report.sha256] = (
@@ -122,6 +143,7 @@ class ReportStore:
         batches, duplicated deliveries and backfill overlap can all be
         recognised without decoding any block.
         """
+        self._ensure_index()
         times = self._scan_index.get(sha256)
         return times is not None and scan_time in times
 
@@ -174,10 +196,12 @@ class ReportStore:
 
     @property
     def sample_count(self) -> int:
+        self._ensure_index()
         return len(self._index)
 
     @property
     def fresh_sample_count(self) -> int:
+        self._ensure_index()
         return sum(1 for _, fresh in self._sample_meta.values() if fresh)
 
     def stats(self) -> StoreStats:
@@ -211,25 +235,30 @@ class ReportStore:
     # ------------------------------------------------------------------
 
     def __contains__(self, sha256: str) -> bool:
+        self._ensure_index()
         return sha256 in self._index
 
     def samples(self) -> Iterator[str]:
         """All sample hashes, in first-ingest order."""
+        self._ensure_index()
         return iter(self._index)
 
     def sample_file_type(self, sha256: str) -> str:
+        self._ensure_index()
         try:
             return self._sample_meta[sha256][0]
         except KeyError:
             raise UnknownSampleError(sha256) from None
 
     def sample_is_fresh(self, sha256: str) -> bool:
+        self._ensure_index()
         try:
             return self._sample_meta[sha256][1]
         except KeyError:
             raise UnknownSampleError(sha256) from None
 
     def report_count_of(self, sha256: str) -> int:
+        self._ensure_index()
         try:
             return len(self._index[sha256])
         except KeyError:
@@ -262,23 +291,50 @@ class ReportStore:
             self._m_cache_hits.inc()
         return records
 
-    def reports_for(self, sha256: str) -> list[ScanReport]:
+    def _entries(self, sha256: str) -> list[IndexEntry]:
+        self._ensure_index()
+        try:
+            return self._index[sha256]
+        except KeyError:
+            raise UnknownSampleError(sha256) from None
+
+    def report_series(self, sha256: str) -> list[ScanReport]:
         """All reports of one sample, sorted by scan time.
 
+        The point-lookup path: only the blocks actually holding the
+        sample's reports are decoded, each exactly once per call (and at
+        most once across calls while cached) — never the whole store.
         Safe to interleave with :meth:`ingest`: reports still in an open
         buffer are read live, and frozen-block cache entries can never go
         stale (frozen blocks are immutable).
         """
-        try:
-            addresses = self._index[sha256]
-        except KeyError:
-            raise UnknownSampleError(sha256) from None
-        reports = [
-            codec.decode_report(self._block(month, block)[slot])
-            for month, block, slot in addresses
-        ]
+        by_block: dict[tuple[int, int], list[int]] = {}
+        for month, block, slot, _ in self._entries(sha256):
+            by_block.setdefault((month, block), []).append(slot)
+        reports = []
+        for (month, block), slots in sorted(by_block.items()):
+            records = self._block(month, block)
+            for slot in slots:
+                reports.append(codec.decode_report(records[slot]))
         reports.sort(key=lambda r: r.scan_time)
         return reports
+
+    def reports_for(self, sha256: str) -> list[ScanReport]:
+        """Alias of :meth:`report_series` (the original name)."""
+        return self.report_series(sha256)
+
+    def latest_report(self, sha256: str) -> ScanReport:
+        """The sample's most recent report — what ``GET /files/{id}``
+        serves.
+
+        Locates the report through the index's per-entry scan times, so
+        exactly one block is decoded on a cold cache (zero on a warm
+        one) no matter how many months or reports the store holds.  Ties
+        on the scan minute resolve to the last-ingested report, matching
+        the final element of :meth:`report_series`.
+        """
+        month, block, slot, _ = latest_entry(self._entries(sha256))
+        return codec.decode_report(self._block(month, block)[slot])
 
     def iter_reports(self) -> Iterator[ScanReport]:
         """All reports, month by month in ingest order."""
@@ -301,9 +357,10 @@ class ReportStore:
         last report), not first-ingest order.
         """
         # Last (month, block) each sample appears in → who completes where.
+        self._ensure_index()
         completions: dict[tuple[int, int], list[str]] = {}
-        for sha256, addresses in self._index.items():
-            last = max((month, block) for month, block, _ in addresses)
+        for sha256, entries in self._index.items():
+            last = max((month, block) for month, block, _, _ in entries)
             completions.setdefault(last, []).append(sha256)
 
         pending: dict[str, list[ScanReport]] = {}
@@ -378,13 +435,16 @@ class ReportStore:
         registry.gauge("store.cache.entries").set(cache.entries)
         registry.gauge("store.cache.peak_stream_reports").set(
             cache.peak_stream_reports)
+        # hit_rate is well-defined (0.0) with zero lookups — publishing
+        # on an untouched cache must never divide by zero.
+        registry.gauge("store.cache.hit_rate").set(cache.hit_rate)
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
     @traced("store.save.seconds")
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, *, include_index: bool = True) -> None:
         """Write the store to a single self-describing file.
 
         Non-mutating: saving a live (unclosed) store is a pure snapshot.
@@ -393,10 +453,18 @@ class ReportStore:
         block layout and addresses untouched, and ingest can continue
         afterwards.  (An earlier revision flushed each shard mid-save,
         silently changing the block layout of a live store.)
+
+        By default the file is format v2: the point-lookup index
+        (:mod:`repro.store.index`) is embedded right after the header, so
+        reloading decodes no blocks.  ``include_index=False`` writes the
+        legacy v1 layout byte-for-byte (no index section, version 1 in
+        the header) — kept for compatibility tests and for producing
+        files older readers accept.
         """
+        self._ensure_index()
         path = Path(path)
         header = {
-            "version": _FILE_VERSION,
+            "version": _FILE_VERSION if include_index else 1,
             "block_records": self.block_records,
             "months": sorted(self.shards),
             # Retrieval-layer counters ride along so a save()+reopen
@@ -413,11 +481,21 @@ class ReportStore:
                 "peak_stream_reports": self._peak_stream_reports,
             },
         }
+        index_payload = b""
+        if include_index:
+            index_payload = encode_index(self._index, self._sample_meta)
+            header["index"] = {
+                "format": INDEX_FORMAT,
+                "samples": len(self._index),
+                "bytes": len(index_payload),
+            }
         with path.open("wb") as fh:
             fh.write(_FILE_MAGIC)
             header_bytes = json.dumps(header).encode("utf-8")
             fh.write(struct.pack("<I", len(header_bytes)))
             fh.write(header_bytes)
+            if include_index:
+                fh.write(index_payload)
             for month in sorted(self.shards):
                 shard = self.shards[month]
                 blocks = list(shard.blocks)
@@ -436,7 +514,12 @@ class ReportStore:
     @traced("store.load.seconds")
     def load(cls, path: str | Path, *, reopen: bool = False,
              metrics=None) -> "ReportStore":
-        """Reload a store written by :meth:`save`, rebuilding the index.
+        """Reload a store written by :meth:`save`.
+
+        A v2 file carries its point-lookup index inline, so loading
+        decodes no blocks at all; a legacy v1 file (no index section)
+        loads too, deferring the index rebuild until the first
+        per-sample access actually needs it (lazy fallback).
 
         By default the loaded store is sealed (analysis use).  With
         ``reopen=True`` the shards stay writable so ingest can continue —
@@ -450,12 +533,22 @@ class ReportStore:
                 raise CorruptRecordError(f"{path} is not a report store")
             (header_len,) = struct.unpack("<I", fh.read(4))
             header = json.loads(fh.read(header_len).decode("utf-8"))
-            if header["version"] != _FILE_VERSION:
+            if header["version"] not in _SUPPORTED_VERSIONS:
                 raise CorruptRecordError(
                     f"unsupported store version {header['version']}"
                 )
             store = cls(block_records=header["block_records"],
                         metrics=metrics)
+            index_info = header.get("index")
+            index_payload = None
+            if index_info is not None:
+                if index_info["format"] != INDEX_FORMAT:
+                    raise CorruptRecordError(
+                        f"unsupported store index format "
+                        f"{index_info['format']}")
+                index_payload = fh.read(index_info["bytes"])
+                if len(index_payload) != index_info["bytes"]:
+                    raise CorruptRecordError("truncated store index")
             counters = header.get("retrieval_counters")
             if counters:
                 store._cache.hits = counters.get("hits", 0)
@@ -486,9 +579,23 @@ class ReportStore:
                 shard.encoded_bytes = encoded
                 shard.closed = not reopen
                 store.shards[month] = shard
-        store._rebuild_index()
+        if index_payload is not None:
+            index, meta = decode_index(index_payload)
+            store._index = index
+            store._sample_meta = meta
+            store._scan_index = {
+                sha: {entry[3] for entry in entries}
+                for sha, entries in index.items()
+            }
+        else:
+            store._index_ready = False
         store.closed = not reopen
         return store
+
+    def _ensure_index(self) -> None:
+        """Build the per-sample index if it was deferred (v1 file load)."""
+        if not self._index_ready:
+            self._rebuild_index()
 
     def _rebuild_index(self) -> None:
         self._index.clear()
@@ -500,7 +607,7 @@ class ReportStore:
                 for slot, record in enumerate(block.records()):
                     sha, scan_time, first_sub = codec.peek_meta(record)
                     self._index.setdefault(sha, []).append(
-                        (month, block_idx, slot)
+                        (month, block_idx, slot, scan_time)
                     )
                     self._scan_index.setdefault(sha, set()).add(scan_time)
                     if sha not in self._sample_meta:
@@ -508,3 +615,4 @@ class ReportStore:
                         self._sample_meta[sha] = (
                             report.file_type, first_sub >= 0
                         )
+        self._index_ready = True

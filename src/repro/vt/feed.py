@@ -171,11 +171,25 @@ class FeedArchive:
     past minute's reports for gap backfill; minutes that have aged out
     raise :class:`~repro.errors.ArchiveExpiredError`, forcing the
     collector onto its best-effort latest-report fallback.
+
+    The retention boundary is a *closed* interval and single-sourced:
+    both pruning and serving derive from :attr:`oldest_available`, so a
+    request for exactly ``oldest_available`` is always **served** (its
+    batch may be empty if nothing scanned that minute) and only minutes
+    strictly below it raise.  An earlier revision computed the pruning
+    floor and the serving floor independently, leaving the behaviour at
+    the exact boundary to coincidence; ``tests/test_feed.py`` now pins
+    every edge (floor−1, floor, floor+1, horizon).
+
+    An archive can also be built *without* a live service, replaying a
+    frozen :class:`~repro.store.ReportStore` (:meth:`from_store`) — the
+    backing the ``repro.serve`` front-end uses for
+    ``GET /feeds/files/{minute}`` over saved stores.
     """
 
     def __init__(
         self,
-        service: VirusTotalService,
+        service: VirusTotalService | None,
         retention_minutes: int = DEFAULT_ARCHIVE_RETENTION_MINUTES,
     ) -> None:
         self._service = service
@@ -186,8 +200,34 @@ class FeedArchive:
         self.horizon = 0
         self._attached = False
 
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        retention_minutes: int = DEFAULT_ARCHIVE_RETENTION_MINUTES,
+    ) -> "FeedArchive":
+        """Rebuild the archive a service *would* hold from a saved store.
+
+        Replays every stored report grouped by scan minute, in minute
+        order (stores reopened for backfill may hold records slightly
+        out of time order, so the replay sorts first).  Retention prunes
+        exactly as it would have live: only the last
+        ``retention_minutes`` below the store's highest scan minute
+        survive.
+        """
+        by_minute: dict[int, list[ScanReport]] = {}
+        for report in store.iter_reports():
+            by_minute.setdefault(report.scan_time, []).append(report)
+        archive = cls(None, retention_minutes=retention_minutes)
+        for minute in sorted(by_minute):
+            for report in by_minute[minute]:
+                archive._record(report)
+        return archive
+
     def attach(self) -> None:
         if not self._attached:
+            if self._service is None:
+                raise FeedNotAttachedError()
             self._service.add_listener(self._record)
             self._attached = True
 
@@ -211,13 +251,21 @@ class FeedArchive:
         self._minutes[minute].append(report)
         if minute > self.horizon:
             self.horizon = minute
-            floor = self.horizon - self.retention_minutes
+            # Prune strictly below the same boundary batch() serves
+            # from — the minute at oldest_available itself is retained.
+            floor = self.oldest_available
             while self._order and self._order[0] < floor:
                 del self._minutes[self._order.popleft()]
 
     @property
     def oldest_available(self) -> int:
-        """The oldest minute still guaranteed fetchable."""
+        """The oldest minute still fetchable (inclusive boundary).
+
+        ``batch(oldest_available)`` is always served — possibly as an
+        empty batch — never raised on.  The window is the closed
+        interval ``[oldest_available, horizon]``; this property is the
+        single source of truth for both pruning and serving.
+        """
         return max(0, self.horizon - self.retention_minutes)
 
     def minutes_retained(self) -> int:
@@ -227,8 +275,9 @@ class FeedArchive:
     def batch(self, minute: int) -> list[ScanReport]:
         """The per-minute batch for ``minute`` (a copy; possibly empty).
 
-        Raises :class:`~repro.errors.ArchiveExpiredError` when the minute
-        predates the retention window.
+        Raises :class:`~repro.errors.ArchiveExpiredError` only for
+        minutes *strictly below* :attr:`oldest_available`; the boundary
+        minute itself is inside the retention window and is served.
         """
         if minute < self.oldest_available:
             raise ArchiveExpiredError(minute, self.oldest_available)

@@ -164,6 +164,83 @@ class TestFeedArchive:
         assert excinfo.value.minute == 0
         assert excinfo.value.horizon == 50
 
+    def test_boundary_minute_is_served_not_raised(self, service):
+        """The retention interval is closed: ``batch(oldest_available)``
+        must succeed (regression — pruning and serving once derived the
+        floor independently, leaving the exact boundary to luck)."""
+        with FeedArchive(service, retention_minutes=50) as archive:
+            _upload(service, "a", 50)
+            _upload(service, "b", 100)
+        assert archive.oldest_available == 50
+        assert [r.scan_time for r in archive.batch(50)] == [50]
+
+    def test_boundary_edges(self, service):
+        """Every edge of the window: floor−1 raises, floor and floor+1
+        and the horizon itself are served."""
+        with FeedArchive(service, retention_minutes=50) as archive:
+            _upload(service, "a", 49)
+            _upload(service, "b", 50)
+            _upload(service, "c", 51)
+            _upload(service, "d", 100)
+        floor = archive.oldest_available
+        assert floor == 50
+        with pytest.raises(ArchiveExpiredError) as excinfo:
+            archive.batch(floor - 1)
+        assert excinfo.value.minute == floor - 1
+        assert excinfo.value.horizon == floor
+        assert len(archive.batch(floor)) == 1
+        assert len(archive.batch(floor + 1)) == 1
+        assert len(archive.batch(archive.horizon)) == 1
+
+    def test_boundary_minute_pruning_matches_serving(self, service):
+        """A batch recorded at what later becomes exactly the floor is
+        retained, and everything strictly below it is pruned."""
+        with FeedArchive(service, retention_minutes=50) as archive:
+            for minute in range(0, 101, 10):
+                _upload(service, str(minute), minute)
+        assert archive.oldest_available == 50
+        retained = {m for m in range(0, 101, 10)
+                    if m >= archive.oldest_available}
+        assert archive.minutes_retained() == len(retained)
+        for minute in sorted(retained):
+            assert len(archive.batch(minute)) == 1
+
+    def test_from_store_replays_frozen_reports(self, service):
+        from repro.store import ReportStore
+
+        store = ReportStore()
+        with FeedArchive(service) as live:
+            _upload(service, "a", 100)
+            _upload(service, "b", 100)
+            _upload(service, "c", 105)
+            for minute in (100, 105):
+                store.ingest_batch(live.batch(minute))
+        rebuilt = FeedArchive.from_store(store)
+        assert rebuilt.horizon == live.horizon
+        assert rebuilt.oldest_available == live.oldest_available
+        assert len(rebuilt.batch(100)) == 2
+        assert len(rebuilt.batch(105)) == 1
+
+    def test_from_store_applies_retention(self, service):
+        from repro.store import ReportStore
+
+        store = ReportStore()
+        with FeedArchive(service) as live:
+            _upload(service, "a", 10)
+            _upload(service, "b", 100)
+            for minute in (10, 100):
+                store.ingest_batch(live.batch(minute))
+        rebuilt = FeedArchive.from_store(store, retention_minutes=50)
+        assert rebuilt.oldest_available == 50
+        with pytest.raises(ArchiveExpiredError):
+            rebuilt.batch(10)
+        assert len(rebuilt.batch(100)) == 1
+
+    def test_serviceless_archive_cannot_attach(self):
+        archive = FeedArchive(None)
+        with pytest.raises(FeedNotAttachedError):
+            archive.attach()
+
     def test_detached_archive_records_nothing(self, service):
         archive = FeedArchive(service)
         _upload(service, "a", 100)

@@ -108,6 +108,60 @@ class TestInvalidation:
         assert cache.hits == 1  # counters survive
 
 
+class TestHitRate:
+    """The live cache's own ratio (not the CacheStats snapshot).
+
+    Regression: publishing gauges off an idle or freshly-cleared cache
+    must never divide by zero, and ``clear()`` resets residency only —
+    the cumulative counters (and hence the lifetime ratio) survive.
+    """
+
+    def test_zero_lookups_is_zero_not_error(self):
+        cache = BlockCache(max_bytes=10_000)
+        assert cache.lookups == 0
+        assert cache.hit_rate() == 0.0
+
+    def test_ratio_over_traffic(self):
+        cache = BlockCache(max_bytes=10_000)
+        cache.get((0, 0))               # miss
+        cache.put((0, 0), _block(1))
+        cache.get((0, 0))               # hit
+        cache.get((0, 0))               # hit
+        assert cache.lookups == 3
+        assert cache.hit_rate() == pytest.approx(2 / 3)
+
+    def test_clear_resets_residency_not_counters(self):
+        cache = BlockCache(max_bytes=10_000)
+        cache.get((0, 0))               # miss
+        cache.put((0, 0), _block(1))
+        cache.get((0, 0))               # hit
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.bytes_resident == 0
+        assert cache.lookups == 2
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_post_clear_lookups_keep_accumulating(self):
+        cache = BlockCache(max_bytes=10_000)
+        cache.put((0, 0), _block(1))
+        cache.get((0, 0))               # hit
+        cache.clear()
+        cache.get((0, 0))               # miss (entry gone after clear)
+        assert cache.lookups == 2
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_store_publishes_hit_rate_gauge_without_traffic(self):
+        """End to end: a store that never served a lookup publishes
+        hit_rate 0.0 (no ZeroDivisionError) on a live registry."""
+        from repro.obs import MetricsRegistry
+        from repro.store import ReportStore
+
+        registry = MetricsRegistry()
+        store = ReportStore(metrics=registry)
+        store.publish_metrics()
+        assert registry.gauge("store.cache.hit_rate").value == 0.0
+
+
 class TestCacheStats:
     def test_hit_rate(self):
         stats = CacheStats(hits=3, misses=1)
