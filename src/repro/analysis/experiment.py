@@ -54,6 +54,9 @@ class ExperimentData:
     #: The metrics registry the run recorded into (None when the caller
     #: ran without observability; possibly the process-wide registry).
     metrics: object | None = None
+    #: Failure-handling accounting of the elastic executor (parallel
+    #: runs only): attempts, retries, lost workers, stolen ranges.
+    executor_report: object | None = None
     _series: list[AVRankSeries] | None = field(default=None, repr=False)
 
     @property
@@ -90,6 +93,7 @@ def run_experiment(
     fleet: EngineFleet | None = None,
     workers: int | str = 1,
     metrics=None,
+    executor=None,
 ) -> ExperimentData:
     """Generate, scan and store one scenario; returns the loaded data.
 
@@ -98,12 +102,18 @@ def run_experiment(
     override is shipped to every worker, so ablations parallelise too.
 
     ``workers`` runs the scenario as that many sharded processes
-    (``"auto"`` = CPU count).  The result is bit-identical to the serial
-    run — same reports, same store layout, same canonical digest — with
-    one difference: ``data.service`` is ``None``, since worker services
-    die with their processes.  ``workers=1`` executes entirely in
-    process, never touching :mod:`multiprocessing`; platforms without
-    ``fork`` fall back to the same in-process path.
+    (``"auto"`` = CPU count, clamped by ``REPRO_MAX_WORKERS``).  The
+    result is bit-identical to the serial run — same reports, same store
+    layout, same canonical digest — with one difference:
+    ``data.service`` is ``None``, since worker services die with their
+    processes.  ``workers=1`` executes entirely in process, never
+    touching :mod:`multiprocessing`.
+
+    ``executor`` selects and tunes the elastic executor for parallel
+    runs: ``None``/an executor kind string (``auto``, ``in-process``,
+    ``fork``, ``spawn``) or a full
+    :class:`~repro.parallel.scheduler.ExecutorPolicy`.  ``auto``
+    prefers fork and falls back to spawn where fork is unavailable.
 
     ``metrics`` injects a registry for the run; with ``None`` the
     process-wide registry is used (the disabled null object unless
@@ -118,7 +128,7 @@ def run_experiment(
         from repro.parallel.runner import run_parallel
 
         return run_parallel(config, fleet=fleet, workers=n_workers,
-                            metrics=metrics)
+                            metrics=metrics, executor=executor)
 
     from repro.parallel.worker import execute_range
 

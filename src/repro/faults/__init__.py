@@ -1,13 +1,19 @@
-"""Deterministic fault injection for the collection pipeline.
+"""Deterministic fault injection for the collection and execution layers.
 
 The paper's dataset exists because a collector survived 14 months of
 polling a live feed; this package makes that failure surface *testable*.
 A :class:`~repro.faults.plan.FaultPlan` describes, with a seed, every
-fault a run may see — outage windows, transient errors, duplicated or
-corrupted deliveries, store write failures — and the chaos wrappers in
-:mod:`repro.faults.chaos` inject exactly those faults around the real
-feed/store/client objects.  :mod:`repro.collect` is the consumer that
-must come through unscathed.
+delivery fault a run may see — outage windows, transient errors,
+duplicated or corrupted deliveries, store write failures — and the chaos
+wrappers in :mod:`repro.faults.chaos` inject exactly those faults around
+the real feed/store/client objects.  :mod:`repro.collect` is the
+consumer that must come through unscathed.
+
+:class:`~repro.faults.executor.ExecutorFaultPlan` extends the same
+discipline to the elastic executor's failure surface — worker crashes,
+hangs past the heartbeat deadline, corrupted shard payloads — keyed by
+``(seed, shard key, attempt)`` so parallel chaos runs are equally
+bit-reproducible.  :mod:`repro.parallel` is that consumer.
 """
 
 from repro.faults.chaos import (
@@ -16,8 +22,20 @@ from repro.faults.chaos import (
     ChaosStore,
     chaos_wrap,
 )
+from repro.faults.executor import (
+    ExecutorFaultPlan,
+    hashed_chance,
+    hashed_fraction,
+    standard_executor_chaos_plan,
+)
 from repro.faults.injectors import corrupt_payload, corrupt_report
-from repro.faults.plan import FaultPlan, OutageWindow, standard_chaos_plan
+from repro.faults.plan import (
+    FaultPlan,
+    OutageWindow,
+    keyed_chance,
+    keyed_fraction,
+    standard_chaos_plan,
+)
 
 __all__ = [
     "ChaosClient",
@@ -26,7 +44,13 @@ __all__ = [
     "chaos_wrap",
     "corrupt_payload",
     "corrupt_report",
+    "ExecutorFaultPlan",
     "FaultPlan",
     "OutageWindow",
+    "hashed_chance",
+    "hashed_fraction",
+    "keyed_chance",
+    "keyed_fraction",
     "standard_chaos_plan",
+    "standard_executor_chaos_plan",
 ]

@@ -27,6 +27,24 @@ from repro.vt.clock import MINUTES_PER_DAY
 _HASH_SPACE = float(2 ** 32)
 
 
+def keyed_fraction(seed: int, *key: object) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` keyed on ``(seed, key)``.
+
+    crc32 hashing instead of ``random.Random(...)`` keeps per-decision
+    cost to one hash of a short string — the fault layer probes this on
+    hot paths (once per simulated minute, once per shard attempt).
+    """
+    token = f"{seed}|" + "|".join(str(k) for k in key)
+    return zlib.crc32(token.encode("utf-8")) / _HASH_SPACE
+
+
+def keyed_chance(seed: int, rate: float, *key: object) -> bool:
+    """A deterministic Bernoulli draw keyed on ``(seed, key)``."""
+    if rate <= 0.0:
+        return False
+    return keyed_fraction(seed, *key) < rate
+
+
 @dataclass(frozen=True)
 class OutageWindow:
     """A half-open minute interval ``[start, end)`` during which the feed
@@ -97,16 +115,8 @@ class FaultPlan:
     # ------------------------------------------------------------------
 
     def _chance(self, rate: float, *key: object) -> bool:
-        """A deterministic Bernoulli draw keyed on ``(seed, key)``.
-
-        crc32 hashing instead of ``random.Random(...)`` keeps the
-        per-minute fast path cheap: a collection run probes this once per
-        simulated minute (~600k times per 14-month window).
-        """
-        if rate <= 0.0:
-            return False
-        token = f"{self.seed}|" + "|".join(str(k) for k in key)
-        return zlib.crc32(token.encode("utf-8")) / _HASH_SPACE < rate
+        """A deterministic Bernoulli draw keyed on ``(seed, key)``."""
+        return keyed_chance(self.seed, rate, *key)
 
     @property
     def disabled(self) -> bool:

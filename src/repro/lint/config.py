@@ -1,9 +1,9 @@
 """Configuration for reprolint: rule selection and the path policy.
 
 The determinism contract does not bind every file equally: the injectable
-clock modules *are* the sanctioned home of wall-clock reads, the parallel
-runner *is* the sanctioned owner of process pools, and the metrics
-registry implementation necessarily passes metric names around as
+clock modules *are* the sanctioned home of wall-clock reads, the elastic
+executors *are* the sanctioned owners of worker processes, and the
+metrics registry implementation necessarily passes metric names around as
 variables.  The path policy encodes those carve-outs per rule, so the
 self-check can run over all of ``src/repro`` without drowning the real
 contract in sanctioned-owner noise.
@@ -31,7 +31,7 @@ RULE_SUMMARIES: dict[str, str] = {
     "RPL004": "iteration over an unordered source without sorted()",
     "RPL005": "metric-name discipline (literal, grammar, one kind per name)",
     "RPL006": "bare or swallowed exception handler in collect/faults",
-    "RPL007": "multiprocessing pool/process built outside the runner",
+    "RPL007": "multiprocessing pool/process built outside the executors",
 }
 
 ALL_CODES: frozenset[str] = frozenset(RULE_SUMMARIES)
@@ -84,11 +84,13 @@ class PathPolicy:
 #: The default per-rule path policy — the sanctioned-owner carve-outs.
 DEFAULT_POLICIES: dict[str, PathPolicy] = {
     # Injectable clocks are the sanctioned home of wall-clock reads; the
-    # serving-layer rate limiter meters real elapsed time by definition
-    # (its default clock is injectable and overridden in every test), so
-    # it is a structural carve-out here rather than a pragma.
+    # serving-layer rate limiter and the executor heartbeat module meter
+    # real elapsed time by definition (their default clocks are
+    # injectable and overridden in tests), so they are structural
+    # carve-outs here rather than pragmas.
     "RPL001": PathPolicy(exclude=("repro/vt/clock.py", "repro/obs/timing.py",
-                                  "repro/serve/ratelimit.py")),
+                                  "repro/serve/ratelimit.py",
+                                  "repro/parallel/heartbeat.py")),
     "RPL002": PathPolicy(),
     "RPL003": PathPolicy(),
     "RPL004": PathPolicy(),
@@ -100,8 +102,10 @@ DEFAULT_POLICIES: dict[str, PathPolicy] = {
     # The swallow rule is scoped to the resilience layers, where a
     # swallowed exception silently breaks the convergence guarantee.
     "RPL006": PathPolicy(include=("repro/collect/", "repro/faults/")),
-    # The fork-context + graceful-fallback owner.
-    "RPL007": PathPolicy(exclude=("repro/parallel/runner.py",)),
+    # The elastic executors are the sanctioned worker-process owners
+    # (fork/spawn pools, reaping, respawn); everything else routes
+    # fan-out through run_parallel().
+    "RPL007": PathPolicy(exclude=("repro/parallel/executors/",)),
 }
 
 

@@ -445,15 +445,16 @@ class SwallowRule(Rule):
 
 
 # ---------------------------------------------------------------------------
-# RPL007 — process fan-out outside the runner
+# RPL007 — process fan-out outside the executor layer
 # ---------------------------------------------------------------------------
 
 
 class PoolRule(Rule):
-    """``repro.parallel.runner`` is the single owner of process fan-out:
-    it pins the fork context, falls back gracefully where fork is
-    unavailable, and merges shard results deterministically.  A pool
-    constructed anywhere else bypasses all three guarantees.
+    """``repro.parallel.executors`` is the single owner of process
+    fan-out: it pins the start method, detects and replaces dead
+    workers, and hands results to the scheduler that merges them
+    deterministically.  A pool or worker process constructed anywhere
+    else bypasses all three guarantees.
     """
 
     code = "RPL007"
@@ -469,7 +470,7 @@ class PoolRule(Rule):
             if offender is not None:
                 yield (node.lineno, node.col_offset,
                        f"{offender} constructed outside "
-                       f"repro.parallel.runner — route fan-out through "
+                       f"repro.parallel.executors — route fan-out through "
                        f"run_parallel()")
 
     def _offender(self, func: ast.expr, imports) -> str | None:

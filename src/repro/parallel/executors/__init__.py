@@ -1,0 +1,84 @@
+"""Pluggable executors for the elastic parallel layer.
+
+Three kinds, one protocol (:class:`~repro.parallel.executors.base.Executor`):
+
+==============  ==========================================================
+kind            what it is
+==============  ==========================================================
+``in-process``  synchronous execution in the driver; zero processes
+``fork``        forked worker pool (cheap bring-up; POSIX only)
+``spawn``       spawned worker pool (fresh interpreters; works everywhere)
+==============  ==========================================================
+
+``auto`` resolves to ``fork`` where available and ``spawn`` otherwise;
+:func:`make_executor` is the factory the runner uses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.parallel.executors.base import (
+    CHAOS_EXIT_CODE,
+    Claimed,
+    Completed,
+    Executor,
+    Failed,
+    Heartbeat,
+    InProcessExecutor,
+    Message,
+    ShardTask,
+    execute_task,
+)
+from repro.parallel.executors.pool import ProcessExecutor, fork_available
+
+#: Accepted values for the ``--executor`` CLI flag / ``kind`` policy field.
+EXECUTOR_KINDS = ("auto", "in-process", "fork", "spawn")
+
+
+def resolve_kind(kind: str) -> str:
+    """Map an executor kind request to a concrete kind.
+
+    ``auto`` prefers fork (no re-import, no re-pickle of the config) and
+    falls back to spawn on platforms without it.  An *explicit* request
+    for an unavailable kind is a :class:`~repro.errors.ConfigError` —
+    silently substituting a different process model would make "it
+    worked on my machine" bugs invisible.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ConfigError(
+            f"unknown executor kind {kind!r} (expected one of "
+            f"{', '.join(EXECUTOR_KINDS)})")
+    if kind == "auto":
+        return "fork" if fork_available() else "spawn"
+    if kind == "fork" and not fork_available():
+        raise ConfigError("executor kind 'fork' is unavailable on this "
+                          "platform; use 'spawn' or 'auto'")
+    return kind
+
+
+def make_executor(kind: str,
+                  heartbeat_interval: float | None = None) -> Executor:
+    """Build the executor for a (concrete or ``auto``) kind."""
+    concrete = resolve_kind(kind)
+    if concrete == "in-process":
+        return InProcessExecutor(heartbeat_interval=heartbeat_interval)
+    return ProcessExecutor(concrete, heartbeat_interval=heartbeat_interval)
+
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "Claimed",
+    "Completed",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "Failed",
+    "Heartbeat",
+    "InProcessExecutor",
+    "Message",
+    "ProcessExecutor",
+    "ShardTask",
+    "execute_task",
+    "fork_available",
+    "make_executor",
+    "resolve_kind",
+]

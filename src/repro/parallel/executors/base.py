@@ -1,0 +1,329 @@
+"""Executor protocol: messages, shard tasks, and the in-process executor.
+
+An :class:`Executor` owns a set of workers and a pair of directions:
+tasks go down (:meth:`Executor.submit`), messages come back
+(:meth:`Executor.poll`).  The scheduler in
+:mod:`repro.parallel.scheduler` is the only client; it never talks to
+``multiprocessing`` directly and never blocks on a single worker — it
+polls, reacts to whatever arrived, and checks deadlines.
+
+The wire protocol is four message types, all picklable:
+
+==============  ======================================================
+message         meaning
+==============  ======================================================
+:class:`Claimed`    a worker pulled the task off the queue and started
+:class:`Heartbeat`  the worker is alive and making progress
+:class:`Completed`  the shard's pickled :class:`~repro.parallel.worker.ShardRun`
+                    plus its sha256 digest
+:class:`Failed`     an in-band retryable failure (in-process executors
+                    translate crash/hang faults into these, since they
+                    cannot kill or stall their own process)
+==============  ======================================================
+
+:func:`execute_task` is the shared worker body: every executor kind runs
+shards through it, so fault injection, heartbeat pumping and payload
+digesting behave identically whether the "worker" is the driver process
+itself or a forked/spawned child.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.faults.executor import ExecutorFaultPlan
+from repro.parallel.heartbeat import ClockFn, HeartbeatEmitter
+from repro.parallel.sharding import ShardSpec
+from repro.parallel.worker import run_shard
+from repro.synth.scenario import ScenarioConfig
+from repro.vt.engines import EngineFleet
+
+#: Exit code a chaos-crashed worker process dies with; distinguishes an
+#: injected crash from a genuine interpreter fault in test output.
+CHAOS_EXIT_CODE = 73
+
+
+class InjectedCrash(Exception):
+    """Signal from :func:`execute_task` that a chaos crash fault fired
+    and the worker process should die.
+
+    Raised (rather than calling ``os._exit`` inline) so the process
+    worker loop can flush its outbound queue first: ``os._exit`` kills
+    the queue's feeder thread mid-write, and a half-written frame wedges
+    the driver's reader for every later message.
+    """
+
+
+# --------------------------------------------------------------------------
+# Wire protocol
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Claimed:
+    """A worker pulled one task off the queue and is about to run it."""
+
+    worker_id: int
+    key: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness signal while a shard is executing."""
+
+    worker_id: int
+    key: str
+    attempt: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class Completed:
+    """One shard's result: pickled ShardRun bytes plus their digest.
+
+    ``digest`` is computed by the worker over the *honest* payload,
+    before any injected corruption mangles the bytes — the scheduler's
+    integrity check (recompute sha256, compare) is what detects the
+    damage and routes the shard to a retry instead of the merge.
+    """
+
+    worker_id: int
+    key: str
+    shard_index: int
+    attempt: int
+    payload: bytes
+    digest: str
+
+
+@dataclass(frozen=True)
+class Failed:
+    """An in-band, retryable task failure.
+
+    ``kind`` is one of ``"crash"``, ``"hang"`` or ``"error"``: the first
+    two are the in-process translations of process-level faults, the
+    last wraps an unexpected exception escaping the shard body.
+    """
+
+    worker_id: int
+    key: str
+    attempt: int
+    kind: str
+    detail: str = ""
+
+
+Message = Claimed | Heartbeat | Completed | Failed
+
+#: A sink for outbound worker messages.
+SendFn = Callable[[Message], None]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One schedulable unit of work: a sample range plus run context."""
+
+    key: str
+    shard: ShardSpec
+    attempt: int
+    config: ScenarioConfig
+    fleet: EngineFleet | None
+    with_metrics: bool
+    plan: ExecutorFaultPlan | None = None
+
+    def retry(self) -> ShardTask:
+        """The same range, next attempt."""
+        return ShardTask(key=self.key, shard=self.shard,
+                         attempt=self.attempt + 1, config=self.config,
+                         fleet=self.fleet, with_metrics=self.with_metrics,
+                         plan=self.plan)
+
+
+# --------------------------------------------------------------------------
+# Shared worker body
+# --------------------------------------------------------------------------
+
+
+def execute_task(
+    task: ShardTask,
+    worker_id: int,
+    send: SendFn,
+    allow_process_faults: bool,
+    heartbeat_interval: float | None = None,
+    clock: ClockFn | None = None,
+) -> None:
+    """Run one shard task end to end, reporting through ``send``.
+
+    ``allow_process_faults`` selects how injected crash/hang faults
+    manifest: process workers really die (:class:`InjectedCrash`, turned
+    into ``os._exit`` by the worker loop after flushing its queue) or
+    really stall (``time.sleep``), so the scheduler exercises its
+    reap/steal paths; the in-process executor sends in-band
+    :class:`Failed` messages instead, exercising the same retry
+    accounting without killing the driver.
+    """
+    plan = task.plan
+    send(Claimed(worker_id=worker_id, key=task.key, attempt=task.attempt))
+
+    if plan is not None and plan.crashes_before_result(task.key, task.attempt):
+        if allow_process_faults:
+            raise InjectedCrash(f"{task.key} attempt {task.attempt}: "
+                                f"crash-before-result")
+        send(Failed(worker_id=worker_id, key=task.key, attempt=task.attempt,
+                    kind="crash", detail="injected crash-before-result"))
+        return
+
+    beat = None
+    if heartbeat_interval is not None:
+        emitter = HeartbeatEmitter(
+            send=lambda seq: send(Heartbeat(
+                worker_id=worker_id, key=task.key,
+                attempt=task.attempt, seq=seq)),
+            interval=heartbeat_interval,
+            clock=clock,
+        )
+        beat = emitter.beat
+
+    try:
+        run = run_shard(task.config, task.shard, fleet=task.fleet,
+                        with_metrics=task.with_metrics, progress=beat)
+    except Exception as exc:  # pragma: no cover - defensive surface
+        send(Failed(worker_id=worker_id, key=task.key, attempt=task.attempt,
+                    kind="error", detail=f"{type(exc).__name__}: {exc}"))
+        return
+
+    if plan is not None and plan.crashes_mid_shard(task.key, task.attempt):
+        if allow_process_faults:
+            raise InjectedCrash(f"{task.key} attempt {task.attempt}: "
+                                f"crash-mid-shard")
+        send(Failed(worker_id=worker_id, key=task.key, attempt=task.attempt,
+                    kind="crash", detail="injected crash-mid-shard"))
+        return
+
+    payload = pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest()
+
+    if plan is not None and plan.hangs(task.key, task.attempt):
+        if allow_process_faults:
+            # Really go silent: no heartbeats, deadline fires, the range
+            # is stolen, and this (late but honest) result is deduped by
+            # digest when it finally ships.
+            time.sleep(plan.hang_seconds)
+        else:
+            send(Failed(worker_id=worker_id, key=task.key,
+                        attempt=task.attempt, kind="hang",
+                        detail="injected hang-past-deadline"))
+            return
+
+    if plan is not None and plan.corrupts_payload(task.key, task.attempt):
+        payload = plan.corrupt_payload(payload, task.key, task.attempt)
+
+    send(Completed(worker_id=worker_id, key=task.key,
+                   shard_index=task.shard.shard_index, attempt=task.attempt,
+                   payload=payload, digest=digest))
+
+
+# --------------------------------------------------------------------------
+# Executor protocol
+# --------------------------------------------------------------------------
+
+
+class Executor(ABC):
+    """A pool of workers behind a submit/poll message interface."""
+
+    #: Human-readable kind tag ("in-process", "fork", "spawn").
+    kind: str = "abstract"
+
+    @abstractmethod
+    def start(self, workers: int) -> None:
+        """Bring up the initial worker set."""
+
+    @abstractmethod
+    def submit(self, task: ShardTask) -> None:
+        """Queue one task; any idle worker may claim it (work-stealing
+        falls out of the shared queue: finishing early means pulling the
+        next range sooner)."""
+
+    @abstractmethod
+    def poll(self, timeout: float) -> list[Message]:
+        """Collect pending messages, blocking up to ``timeout`` seconds
+        for the first one."""
+
+    @abstractmethod
+    def reap(self) -> list[tuple[int, int]]:
+        """Workers found dead since the last call: ``(worker_id,
+        exitcode)`` pairs.  Reaped workers leave :meth:`live_workers`."""
+
+    @abstractmethod
+    def spawn_worker(self) -> int:
+        """Add one replacement worker; returns its id."""
+
+    @abstractmethod
+    def live_workers(self) -> list[int]:
+        """Ids of workers currently believed alive."""
+
+    @abstractmethod
+    def shutdown(self) -> None:
+        """Stop all workers and release resources (idempotent)."""
+
+
+class InProcessExecutor(Executor):
+    """Run tasks synchronously in the driver process.
+
+    One logical worker, zero processes: :meth:`poll` pops one queued
+    task, runs it to completion, and returns every message it emitted.
+    Deterministic and dependency-free — the reference executor for
+    tests, and the fallback when a platform offers no usable start
+    method.  Injected crash/hang faults surface as in-band
+    :class:`Failed` messages (``allow_process_faults=False``), so chaos
+    plans exercise the scheduler's retry accounting here too.
+    """
+
+    kind = "in-process"
+
+    def __init__(self, heartbeat_interval: float | None = None,
+                 clock: ClockFn | None = None) -> None:
+        self._queue: deque[ShardTask] = deque()
+        self._heartbeat_interval = heartbeat_interval
+        self._clock = clock
+        self._workers: list[int] = []
+        self._next_worker_id = 0
+
+    def start(self, workers: int) -> None:
+        for _ in range(max(1, workers)):
+            self.spawn_worker()
+
+    def submit(self, task: ShardTask) -> None:
+        self._queue.append(task)
+
+    def poll(self, timeout: float) -> list[Message]:
+        if not self._queue:
+            return []
+        task = self._queue.popleft()
+        messages: list[Message] = []
+        worker_id = self._workers[0] if self._workers else 0
+        execute_task(task, worker_id, messages.append,
+                     allow_process_faults=False,
+                     heartbeat_interval=self._heartbeat_interval,
+                     clock=self._clock)
+        return messages
+
+    def reap(self) -> list[tuple[int, int]]:
+        return []
+
+    def spawn_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        self._workers.append(worker_id)
+        return worker_id
+
+    def live_workers(self) -> list[int]:
+        return list(self._workers)
+
+    def shutdown(self) -> None:
+        self._queue.clear()

@@ -1,0 +1,161 @@
+"""Process-backed executors: fork and spawn worker pools.
+
+This module is the package's *only* sanctioned constructor of worker
+processes (reprolint RPL007 carves out ``repro/parallel/executors/``):
+every other module routes fan-out through
+:func:`repro.parallel.runner.run_parallel`, which drives these pools via
+the scheduler.
+
+The design is a plain task-queue/result-queue pair rather than
+``multiprocessing.Pool``: ``Pool.map`` hides worker death behind a hung
+future, but the elastic scheduler needs to *observe* death (``reap``),
+silence (missed heartbeats) and lateness (stolen ranges), and to inject
+replacement workers mid-run (``spawn_worker``).  A shared task queue
+also gives work-stealing for free — a worker that finishes early simply
+pulls the next range.
+
+Both start methods run the same module-level :func:`_worker_main` (spawn
+requires an importable top-level target) and the same
+:func:`~repro.parallel.executors.base.execute_task` body, so fork and
+spawn differ only in process bring-up cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+
+from repro.errors import ConfigError
+from repro.parallel.executors.base import Executor, Message, ShardTask
+
+
+def fork_available() -> bool:
+    """Whether this platform supports fork-based worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _worker_main(worker_id: int, tasks, results,
+                 heartbeat_interval: float | None) -> None:
+    """Worker process body: pull tasks until the ``None`` poison pill.
+
+    Imported (not inherited) state only — this must be runnable under
+    the spawn start method, where the child starts from a fresh
+    interpreter and unpickles its arguments.
+
+    An :class:`~repro.parallel.executors.base.InjectedCrash` kills the
+    process with ``os._exit`` — but only after flushing the result
+    queue's feeder thread.  Dying mid-write would leave a truncated
+    frame in the pipe and wedge the driver's reader for every message
+    after it (from any worker), turning one injected crash into a hung
+    run.
+    """
+    import os
+
+    from repro.parallel.executors.base import (
+        CHAOS_EXIT_CODE,
+        InjectedCrash,
+        execute_task,
+    )
+
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        try:
+            execute_task(task, worker_id, results.put,
+                         allow_process_faults=True,
+                         heartbeat_interval=heartbeat_interval)
+        except InjectedCrash:
+            results.close()
+            results.join_thread()
+            os._exit(CHAOS_EXIT_CODE)
+
+
+class ProcessExecutor(Executor):
+    """A crash-observable pool of forked or spawned worker processes."""
+
+    #: How long shutdown waits for a worker to honour its poison pill
+    #: before terminating it.
+    JOIN_TIMEOUT = 5.0
+
+    def __init__(self, method: str,
+                 heartbeat_interval: float | None = None) -> None:
+        if method not in multiprocessing.get_all_start_methods():
+            raise ConfigError(
+                f"start method {method!r} unavailable on this platform "
+                f"(have: {multiprocessing.get_all_start_methods()})")
+        self.kind = method
+        self._ctx = multiprocessing.get_context(method)
+        self._heartbeat_interval = heartbeat_interval
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._procs: dict[int, object] = {}
+        self._next_worker_id = 0
+        self._stopped = False
+
+    def start(self, workers: int) -> None:
+        for _ in range(max(1, workers)):
+            self.spawn_worker()
+
+    def spawn_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self._tasks, self._results,
+                  self._heartbeat_interval),
+            daemon=True,
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+        return worker_id
+
+    def submit(self, task: ShardTask) -> None:
+        self._tasks.put(task)
+
+    def poll(self, timeout: float) -> list[Message]:
+        messages: list[Message] = []
+        try:
+            messages.append(self._results.get(timeout=timeout))
+        except queue_mod.Empty:
+            return messages
+        while True:
+            try:
+                messages.append(self._results.get_nowait())
+            except queue_mod.Empty:
+                return messages
+
+    def reap(self) -> list[tuple[int, int]]:
+        dead = []
+        for worker_id, proc in sorted(self._procs.items()):
+            if proc.exitcode is not None:
+                proc.join()
+                dead.append((worker_id, proc.exitcode))
+        for worker_id, _ in dead:
+            del self._procs[worker_id]
+        return dead
+
+    def live_workers(self) -> list[int]:
+        return sorted(self._procs)
+
+    def shutdown(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except (ValueError, OSError):  # queue already closed/broken
+                break
+        for proc in self._procs.values():
+            proc.join(timeout=self.JOIN_TIMEOUT)
+        for proc in self._procs.values():
+            if proc.exitcode is None:
+                proc.terminate()
+                proc.join(timeout=self.JOIN_TIMEOUT)
+        self._procs.clear()
+        for q in (self._tasks, self._results):
+            q.close()
+            # Don't block interpreter exit on unflushed queue buffers
+            # (a stolen-range run can leave late results in flight).
+            q.cancel_join_thread()

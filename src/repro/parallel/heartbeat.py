@@ -1,0 +1,123 @@
+"""Heartbeat machinery: liveness signalling between workers and driver.
+
+Clock policy: this module is the parallel layer's *sanctioned owner* of
+wall-clock reads.  The determinism contract (reprolint RPL001) bans
+``time.monotonic`` in library code because simulation results must not
+depend on the host clock — but heartbeats, deadlines and retry backoff
+exist precisely to meter real elapsed time, the same justification as
+:mod:`repro.obs.timing` and :mod:`repro.serve.ratelimit`.  Everything
+time-dependent in the executor layer goes through the :data:`ClockFn`
+values defined here (tests inject fakes), and
+``repro/parallel/heartbeat.py`` is carved out via the RPL001
+:class:`~repro.lint.config.PathPolicy` — a structural exclusion, not a
+per-line pragma, because the whole file is the sanctioned surface.
+
+Simulation output never depends on any value read here: heartbeats only
+decide *scheduling* (when to steal or retry a range), and every shard's
+bytes are a pure function of ``(config, range)`` — the digest gate holds
+whatever the host clock does.
+
+Two halves:
+
+* :class:`HeartbeatEmitter` runs inside a worker.  The shard event loop
+  calls :meth:`HeartbeatEmitter.beat` every few hundred events; the
+  emitter throttles that to at most one message per ``interval`` seconds
+  so long-running shards stay visibly alive without flooding the result
+  queue.
+* :class:`HeartbeatMonitor` runs in the driver.  It tracks the last
+  signal per shard assignment and reports which assignments have gone
+  silent past the deadline — the trigger for work-stealing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A clock: zero-arg callable returning monotonic seconds.
+ClockFn = Callable[[], float]
+
+
+def monotonic_clock() -> float:
+    """The default executor clock (host monotonic seconds)."""
+    return time.monotonic()
+
+
+class HeartbeatEmitter:
+    """Worker-side throttled liveness signal.
+
+    ``send`` is called with a monotonically increasing sequence number at
+    most once per ``interval`` seconds, however often :meth:`beat` is
+    invoked.  An ``interval`` of ``None`` (or <= 0) disables emission
+    entirely — the zero-overhead path the heartbeat benchmark measures
+    against.
+    """
+
+    __slots__ = ("_send", "_interval", "_clock", "_next_due", "seq")
+
+    def __init__(self, send: Callable[[int], None],
+                 interval: float | None,
+                 clock: ClockFn | None = None) -> None:
+        self._send = send
+        self._interval = interval if interval and interval > 0 else None
+        self._clock: ClockFn = clock if clock is not None else monotonic_clock
+        self._next_due = (self._clock() + self._interval
+                          if self._interval is not None else 0.0)
+        self.seq = 0
+
+    def beat(self) -> bool:
+        """Maybe emit one heartbeat; returns whether one was sent."""
+        if self._interval is None:
+            return False
+        now = self._clock()
+        if now < self._next_due:
+            return False
+        self._next_due = now + self._interval
+        self.seq += 1
+        self._send(self.seq)
+        return True
+
+
+class HeartbeatMonitor:
+    """Driver-side liveness ledger, one entry per active assignment.
+
+    Keys are opaque (the scheduler uses ``(shard_key, attempt)``).  The
+    monitor answers two questions: how far behind is a signal
+    (:meth:`lag`), and which assignments are silent past the deadline
+    (:meth:`overdue`).
+    """
+
+    def __init__(self, deadline: float) -> None:
+        if deadline <= 0:
+            raise ValueError(f"heartbeat deadline must be > 0, "
+                             f"got {deadline}")
+        self.deadline = deadline
+        self._last_seen: dict[object, float] = {}
+
+    def track(self, key: object, now: float) -> None:
+        """Start (or restart) watching one assignment."""
+        self._last_seen[key] = now
+
+    def signal(self, key: object, now: float) -> float | None:
+        """Record a liveness signal; returns the lag it cleared, or
+        ``None`` if the assignment is not tracked (late/stale signal)."""
+        last = self._last_seen.get(key)
+        if last is None:
+            return None
+        self._last_seen[key] = now
+        return max(0.0, now - last)
+
+    def forget(self, key: object) -> None:
+        self._last_seen.pop(key, None)
+
+    def overdue(self, now: float) -> list:
+        """Assignments silent for longer than the deadline (sorted for
+        deterministic handling order)."""
+        return sorted(
+            (key for key, last in self._last_seen.items()
+             if now - last > self.deadline),
+            key=repr,
+        )
+
+    def tracked(self) -> int:
+        return len(self._last_seen)

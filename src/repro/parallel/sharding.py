@@ -54,15 +54,45 @@ def partition_samples(n_samples: int, n_shards: int) -> tuple[ShardSpec, ...]:
     )
 
 
+#: Environment override capping what ``workers="auto"`` resolves to —
+#: for shared CI runners and containers where ``os.cpu_count()`` reports
+#: the host's cores, not the job's quota.  Explicit integer ``workers``
+#: values are never capped: a stated count is an instruction.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
+def _env_max_workers() -> int | None:
+    """The ``REPRO_MAX_WORKERS`` cap, validated; ``None`` when unset."""
+    raw = os.environ.get(MAX_WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{MAX_WORKERS_ENV} must be a positive integer, "
+            f"got {raw!r}") from None
+    if cap < 1:
+        raise ConfigError(
+            f"{MAX_WORKERS_ENV} must be >= 1, got {cap}")
+    return cap
+
+
 def resolve_workers(workers: int | str) -> int:
     """Normalise a ``workers`` argument (``int`` or ``"auto"``) to a count.
 
-    ``"auto"`` resolves to the machine's CPU count.  Anything else must
-    be a positive integer; ``ConfigError`` otherwise, so a bad CLI value
-    fails loudly before any work is scheduled.
+    ``"auto"`` resolves to the machine's CPU count — clamped to at least
+    1 (``os.cpu_count()`` may return ``None`` on exotic platforms) and
+    capped by the ``REPRO_MAX_WORKERS`` environment variable when set.
+    Anything else must be a positive integer; ``ConfigError`` otherwise,
+    so a bad CLI value fails loudly before any work is scheduled.
     """
     if workers == "auto":
-        return max(1, os.cpu_count() or 1)
+        resolved = max(1, os.cpu_count() or 1)
+        cap = _env_max_workers()
+        if cap is not None:
+            resolved = min(resolved, cap)
+        return max(1, resolved)
     if isinstance(workers, bool) or not isinstance(workers, int):
         raise ConfigError(f"workers must be a positive int or 'auto', "
                           f"got {workers!r}")

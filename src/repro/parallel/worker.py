@@ -34,6 +34,12 @@ from repro.vt.service import VirusTotalService
 #: Drain the feed into the store every this many scan events.
 FEED_DRAIN_EVERY = 10_000
 
+#: Invoke the caller's progress callback every this many scan events.
+#: Cheap relative to a scan (one callable invocation per 64 events, and
+#: the heartbeat emitter behind it throttles to one clock read per
+#: call); small enough that even short shards beat a few times.
+PROGRESS_EVERY = 64
+
 #: Merge key of one record: (scan_time, global sample index).  Unique
 #: across the whole scenario (a sample never has two scans in the same
 #: minute) and non-decreasing within a shard's per-month stream.
@@ -89,6 +95,7 @@ def execute_range(
     fleet: EngineFleet | None = None,
     collect_keys: bool = False,
     metrics=None,
+    progress=None,
 ) -> RangeRun:
     """Generate, scan and store samples ``[start, stop)`` of the scenario.
 
@@ -101,6 +108,10 @@ def execute_range(
     ``metrics`` is handed to the service and the store.  Everything this
     loop records is per-sample work (partition-invariant), so the merged
     registries of a sharded run reproduce the serial registry exactly.
+
+    ``progress`` (optional zero-arg callable) is invoked every
+    ``PROGRESS_EVERY`` events.  It must not affect simulation state: the
+    executor layer hangs throttled heartbeat emission off it.
     """
     if metrics is None:
         metrics = NULL_REGISTRY
@@ -140,6 +151,8 @@ def execute_range(
                     (when, index))
             executed += 1
             m_events.inc()
+            if progress is not None and executed % PROGRESS_EVERY == 0:
+                progress()
             if executed % FEED_DRAIN_EVERY == 0:
                 store.ingest_batch(feed.poll())
         store.ingest_batch(feed.poll())
@@ -154,6 +167,7 @@ def run_shard(
     shard: ShardSpec,
     fleet: EngineFleet | None = None,
     with_metrics: bool = False,
+    progress=None,
 ) -> ShardRun:
     """Execute one shard and package the frozen store for the driver.
 
@@ -162,7 +176,8 @@ def run_shard(
     """
     registry = MetricsRegistry() if with_metrics else None
     run = execute_range(config, shard.start, shard.stop, fleet=fleet,
-                        collect_keys=True, metrics=registry)
+                        collect_keys=True, metrics=registry,
+                        progress=progress)
     store = run.store
     months = {}
     for month, mshard in store.shards.items():

@@ -89,25 +89,37 @@ class TokenBucket:
                                self._tokens + elapsed * self.refill_per_second)
         self._updated = now
 
-    def peek(self) -> float:
-        """Current token count after refill (no consumption)."""
-        self._refill(self._clock())
+    def tokens(self, now: float) -> float:
+        """Token count after refilling to ``now`` (no consumption).
+
+        Every method takes the decision's single ``now`` explicitly
+        rather than reading the clock itself: one admission decision
+        must see one instant.  Separate clock reads per bucket (the old
+        ``peek()``/``can_consume()``/``consume()`` surface) let time
+        advance *between* the check and the consume, so a request could
+        be admitted against a token that a fresh read then double-spent
+        — the classic check-then-act race, merely narrowed by the lock.
+        """
+        self._refill(now)
         return self._tokens
 
-    def can_consume(self) -> bool:
-        return self.peek() >= 1.0
-
-    def consume(self) -> None:
-        """Take one token.  Callers must have checked first."""
-        self._refill(self._clock())
+    def take(self, now: float) -> None:
+        """Take one token as of ``now``.  Callers must have checked
+        ``tokens(now) >= 1`` at the *same* ``now`` first."""
+        self._refill(now)
         self._tokens -= 1.0
 
-    def seconds_until_token(self) -> float:
-        """Time until one full token is available (0.0 if already)."""
-        tokens = self.peek()
+    def seconds_until_token(self, now: float) -> float:
+        """Time from ``now`` until one full token is available (0.0 if
+        already)."""
+        tokens = self.tokens(now)
         if tokens >= 1.0:
             return 0.0
         return (1.0 - tokens) / self.refill_per_second
+
+    def peek(self) -> float:
+        """Current token count on a fresh clock read (diagnostics)."""
+        return self.tokens(self._clock())
 
 
 class TenantLimiter:
@@ -143,17 +155,26 @@ class TenantLimiter:
         All of the tenant's windows are checked before any is consumed;
         on refusal ``retry_after`` is the *worst* (longest) wait over the
         refusing windows, since every window must admit the retry.
+
+        The whole decision is atomic twice over: the lock serialises
+        concurrent callers, and a single clock read (``now``) is
+        threaded through every bucket operation, so the tokens checked
+        are exactly the tokens consumed — refill cannot slip in between
+        the check and the consume and mint an extra admission.  Under an
+        8-thread hammer at an empty bucket, exactly ``capacity``
+        requests are admitted (see ``tests/test_serve.py``).
         """
         with self._lock:
             buckets = self._buckets_for(tenant)
             if not buckets:
                 return ALLOWED
-            waits = [b.seconds_until_token() for b in buckets
-                     if not b.can_consume()]
+            now = self._clock()
+            waits = [b.seconds_until_token(now) for b in buckets
+                     if b.tokens(now) < 1.0]
             if waits:
                 return RateDecision(allowed=False, retry_after=max(waits))
             for bucket in buckets:
-                bucket.consume()
+                bucket.take(now)
             return ALLOWED
 
     def remaining(self, tenant: Tenant) -> dict[str, float]:

@@ -149,6 +149,60 @@ class MergeStats:
     blocks_recompressed: int
 
 
+def _merge_streams(streams, block_records, on_record, on_block):
+    """The K-way merge core, shared by every merge entry point.
+
+    ``on_record(stream, at, block_idx, slot)`` fires once per record in
+    output order with the record's destination slot address (``block_idx``
+    counts output blocks of this month, ``slot`` positions within the
+    block); ``on_block(block)`` appends each finished output block.
+    Output blocks hold exactly ``block_records`` records apart from the
+    final partial one, so the output layout is a pure function of the
+    merged record sequence — *not* of how the sources were blocked or
+    grouped.  That invariant is what lets the streaming merge fold runs
+    in completion order and still converge on the serial store bit for
+    bit.
+
+    Returns ``(spliced, decompressed, recompressed)`` block counts.
+    """
+    streams = list(streams)
+    buffer: list[bytes] = []
+    n_blocks = 0
+    spliced = decompressed = recompressed = 0
+    while streams:
+        stream = min(streams, key=lambda s: s.key)
+        start, end = stream.block_span()
+        block = stream.blocks[stream.block_idx]
+        can_splice = (
+            not buffer
+            and stream.at_block_start()
+            and block.record_count == block_records
+            and all(s is stream or stream.keys[end - 1] < s.key
+                    for s in streams)
+        )
+        if can_splice:
+            for slot, at in enumerate(range(start, end)):
+                on_record(stream, at, n_blocks, slot)
+            on_block(stream.take_block())
+            n_blocks += 1
+        else:
+            on_record(stream, stream.pos, n_blocks, len(buffer))
+            buffer.append(stream.take_record())
+            if len(buffer) >= block_records:
+                on_block(CompressedBlock.from_records(buffer))
+                n_blocks += 1
+                recompressed += 1
+                buffer = []
+        if stream.exhausted:
+            spliced += stream.blocks_spliced
+            decompressed += stream.blocks_decompressed
+            streams.remove(stream)
+    if buffer:
+        on_block(CompressedBlock.from_records(buffer))
+        recompressed += 1
+    return spliced, decompressed, recompressed
+
+
 @traced("store.merge.seconds")
 def concat_frozen(
     sources: Sequence[FrozenShard],
@@ -185,50 +239,24 @@ def concat_frozen(
         dest.encoded_bytes = sum(src.months[month].encoded_bytes
                                  for src in present)
         total_records += dest.report_count
-        buffer: list[bytes] = []
 
-        def register(stream: _Stream, at: int, slot_address) -> None:
+        def register(stream: _Stream, at: int, block_idx: int,
+                     slot: int) -> None:
             sha = stream.shas[at]
             scan_time = stream.scan_times[at]
             # Index entries carry the scan time so point lookups
             # (latest_report) never decode a block to find "latest".
-            store._index.setdefault(sha, []).append(slot_address + (scan_time,))
+            store._index.setdefault(sha, []).append(
+                (month, block_idx, slot, scan_time))
             store._scan_index.setdefault(sha, set()).add(scan_time)
             if sha not in store._sample_meta:
                 store._sample_meta[sha] = stream.meta[sha]
 
-        while streams:
-            stream = min(streams, key=lambda s: s.key)
-            start, end = stream.block_span()
-            block = stream.blocks[stream.block_idx]
-            can_splice = (
-                not buffer
-                and stream.at_block_start()
-                and block.record_count == block_records
-                and all(s is stream or stream.keys[end - 1] < s.key
-                        for s in streams)
-            )
-            if can_splice:
-                dest_block = len(dest.blocks)
-                for slot, at in enumerate(range(start, end)):
-                    register(stream, at, (month, dest_block, slot))
-                dest.blocks.append(stream.take_block())
-            else:
-                register(stream, stream.pos,
-                         (month, len(dest.blocks), len(buffer)))
-                buffer.append(stream.take_record())
-                if len(buffer) >= block_records:
-                    dest.blocks.append(CompressedBlock.from_records(buffer))
-                    recompressed += 1
-                    buffer = []
-            if stream.exhausted:
-                spliced += stream.blocks_spliced
-                decompressed += stream.blocks_decompressed
-                streams.remove(stream)
-
-        if buffer:
-            dest.blocks.append(CompressedBlock.from_records(buffer))
-            recompressed += 1
+        s, d, r = _merge_streams(streams, block_records,
+                                 register, dest.blocks.append)
+        spliced += s
+        decompressed += d
+        recompressed += r
         dest.closed = True
         store.shards[month] = dest
 
@@ -241,3 +269,141 @@ def concat_frozen(
         blocks_recompressed=recompressed,
     )
     return store, stats
+
+
+def merge_frozen(
+    sources: Sequence[FrozenShard],
+    block_records: int = DEFAULT_BLOCK_RECORDS,
+) -> tuple[FrozenShard, MergeStats]:
+    """Merge frozen shards into one *frozen shard*, in global key order.
+
+    The frozen→frozen counterpart of :func:`concat_frozen`: same K-way
+    loop, but the result stays mergeable — the streaming merge uses it to
+    fold completed shards together long before the last one arrives,
+    deferring store/index construction to the final pass.
+    """
+    months_out: dict[int, FrozenMonth] = {}
+    sample_meta: dict[str, tuple[str, bool]] = {}
+    total_records = 0
+    spliced = decompressed = recompressed = 0
+
+    for month in sorted({m for src in sources for m in src.months}):
+        present = [src for src in sources if month in src.months]
+        streams = [
+            _Stream(src.months[month], src.sample_meta)
+            for src in present
+            if src.months[month].report_count
+        ]
+        blocks: list[CompressedBlock] = []
+        keys: list = []
+        shas: list[str] = []
+        scan_times: list[int] = []
+
+        def collect(stream: _Stream, at: int, block_idx: int,
+                    slot: int) -> None:
+            keys.append(stream.keys[at])
+            shas.append(stream.shas[at])
+            scan_times.append(stream.scan_times[at])
+            sha = stream.shas[at]
+            if sha not in sample_meta:
+                sample_meta[sha] = stream.meta[sha]
+
+        s, d, r = _merge_streams(streams, block_records,
+                                 collect, blocks.append)
+        spliced += s
+        decompressed += d
+        recompressed += r
+        report_count = sum(src.months[month].report_count for src in present)
+        total_records += report_count
+        months_out[month] = FrozenMonth(
+            blocks=blocks,
+            report_count=report_count,
+            verbose_bytes=sum(src.months[month].verbose_bytes
+                              for src in present),
+            encoded_bytes=sum(src.months[month].encoded_bytes
+                              for src in present),
+            keys=keys,
+            shas=shas,
+            scan_times=scan_times,
+        )
+
+    stats = MergeStats(
+        months=len(months_out),
+        records=total_records,
+        blocks_spliced=spliced,
+        blocks_decompressed=decompressed,
+        blocks_recompressed=recompressed,
+    )
+    return FrozenShard(months=months_out, sample_meta=sample_meta), stats
+
+
+class StreamingMerge:
+    """Incrementally merge frozen shards as they complete.
+
+    The elastic scheduler hands over shards in *completion* order, which
+    under chaos bears no relation to shard order.  ``add()`` appends each
+    shard as a run and folds neighbouring runs whenever the second-newest
+    is no more than twice the newest (the classic logarithmic run stack),
+    so merge work overlaps shard execution and no more than
+    ``O(log n_shards)`` runs are ever held.  ``finish()`` concatenates
+    the surviving runs into the sealed store.
+
+    Order-independence is structural, not probabilistic: merge keys are
+    globally unique, and :func:`_merge_streams` re-blocks output purely
+    by record sequence, so any fold order converges to the same final
+    store — identical digest, identical ``save()`` bytes.  Only
+    :class:`MergeStats` (how much was spliced vs re-blocked along the
+    way) varies with fold order; ``records`` always equals the final
+    store's report count.
+    """
+
+    def __init__(self, block_records: int = DEFAULT_BLOCK_RECORDS,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 metrics=None) -> None:
+        self._block_records = block_records
+        self._cache_bytes = cache_bytes
+        self._metrics = metrics
+        self._runs: list[FrozenShard] = []
+        self._counts: list[int] = []
+        self._spliced = 0
+        self._decompressed = 0
+        self._recompressed = 0
+        #: How many incremental fold passes add() performed.
+        self.folds = 0
+
+    @staticmethod
+    def _size(shard: FrozenShard) -> int:
+        return sum(m.report_count for m in shard.months.values())
+
+    def add(self, shard: FrozenShard) -> None:
+        """Accept one completed shard, folding runs as the stack allows."""
+        self._runs.append(shard)
+        self._counts.append(self._size(shard))
+        while (len(self._runs) > 1
+               and self._counts[-2] <= 2 * self._counts[-1]):
+            merged, stats = merge_frozen(self._runs[-2:],
+                                         block_records=self._block_records)
+            self._runs[-2:] = [merged]
+            self._counts[-2:] = [stats.records]
+            self._spliced += stats.blocks_spliced
+            self._decompressed += stats.blocks_decompressed
+            self._recompressed += stats.blocks_recompressed
+            self.folds += 1
+
+    def finish(self) -> tuple[ReportStore, MergeStats]:
+        """Concatenate the surviving runs into one sealed store."""
+        store, stats = concat_frozen(self._runs,
+                                     block_records=self._block_records,
+                                     cache_bytes=self._cache_bytes,
+                                     metrics=self._metrics)
+        self._runs = []
+        self._counts = []
+        return store, MergeStats(
+            months=stats.months,
+            records=stats.records,
+            blocks_spliced=stats.blocks_spliced + self._spliced,
+            blocks_decompressed=stats.blocks_decompressed
+            + self._decompressed,
+            blocks_recompressed=stats.blocks_recompressed
+            + self._recompressed,
+        )

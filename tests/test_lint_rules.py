@@ -347,14 +347,21 @@ class TestRoguePool:
                 return Process(target=fn)
         """) == ["RPL007"]
 
-    def test_runner_module_exempt(self):
+    def test_executors_package_exempt(self):
         assert codes("""
             import multiprocessing
             def fan_out(tasks):
                 ctx = multiprocessing.get_context("fork")
                 with ctx.Pool(4) as pool:
                     return pool.map(str, tasks)
-        """, path="repro/parallel/runner.py") == []
+        """, path="repro/parallel/executors/pool.py") == []
+
+    def test_runner_module_no_longer_exempt(self):
+        assert codes("""
+            import multiprocessing
+            def fan_out(tasks):
+                return multiprocessing.Process(target=str)
+        """, path="repro/parallel/runner.py") == ["RPL007"]
 
     def test_other_multiprocessing_attrs_clean(self):
         assert codes("""

@@ -138,14 +138,18 @@ def test_workers_one_never_touches_multiprocessing(monkeypatch):
     assert data.service is not None
 
 
-def test_no_fork_falls_back_to_serial(monkeypatch):
+def test_no_fork_falls_back_to_spawn(monkeypatch):
+    """Without fork, 'auto' now degrades to the spawn pool — still a
+    real parallel run, still digest-identical to serial."""
     import repro.parallel.runner as runner
 
     monkeypatch.setattr(runner, "fork_available", lambda: False)
     config = tiny_scenario(n_samples=40, seed=1)
     data = run_experiment(config, workers=4)
-    assert data.workers == 1
-    assert data.service is not None
+    assert data.workers == 4
+    assert data.service is None
+    assert data.executor_report is not None
+    assert data.executor_report.executor == "spawn"
     assert data.store.digest() == run_experiment(config).store.digest()
 
 

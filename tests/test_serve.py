@@ -7,6 +7,7 @@ an injected fake clock throughout — no test sleeps.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -192,6 +193,33 @@ class TestRateLimiting:
         assert not worst.allowed
         # Both windows now refuse; the wait is the day window's (hours).
         assert worst.retry_after > 3600
+
+    def test_hammer_single_tenant_admits_exactly_capacity(self):
+        """Eight threads racing one tenant's bucket admit exactly
+        ``capacity`` requests: the check and the consume happen under
+        one lock at one clock instant, so concurrent callers can never
+        double-spend a token (the regression this guards was a fresh
+        clock read between check and consume minting extra admissions).
+        """
+        limiter = TenantLimiter(clock=lambda: 0.0)  # frozen: no refill
+        tenants = TenantRegistry()
+        tenant = tenants.add(
+            "hammer", TierLimits("burst", per_minute=32, per_day=None))
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(16):
+                if limiter.check(tenant).allowed:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 32
 
     def test_limits_are_per_tenant(self, server, store):
         tenants = server.tenants
