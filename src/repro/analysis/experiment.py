@@ -68,9 +68,18 @@ class ExperimentData:
 
         Built from the store's streaming block-order pass, so the full
         report set is never resident at once — only the compact series.
+        On a columnar store the pass runs through the numpy kernels
+        (:meth:`~repro.store.reportstore.ReportStore.series_frame`),
+        which skip the per-engine planes entirely; the result is
+        bit-identical to the row path (the differential harness in
+        ``tests/test_store_columnar.py`` pins this).
         """
         if self._series is None:
-            self._series = collect_series(self.store.iter_sample_reports())
+            if self.store.block_format == "columnar":
+                self._series = self.store.series_frame().to_series()
+            else:
+                self._series = collect_series(
+                    self.store.iter_sample_reports())
         return self._series
 
     def store_cache_stats(self):

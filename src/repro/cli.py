@@ -36,6 +36,7 @@ Exit codes are uniform across subcommands (pytest convention):
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -82,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", metavar="PATH",
                         help="load reports from a saved store instead of "
                              "generating")
+    parser.add_argument("--store-format", choices=("columnar", "row"),
+                        default="columnar",
+                        help="block layout for generated stores: columnar "
+                             "(v3, the fast path) or row (v2 legacy); the "
+                             "canonical digest is identical either way "
+                             "(default: columnar)")
     parser.add_argument("--workers", metavar="N|auto", default="1",
                         help="shard the scenario across N worker processes "
                              "('auto' = CPU count, capped by "
@@ -155,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="register an API key (repeatable; tier is "
                             "'free' — 500/day at 4/min — or 'premium'). "
                             "Default: demo-free:free demo-premium:premium")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map the store file instead of reading "
+                            "it up front; blocks decode lazily on first "
+                            "touch, so multiple serve processes share one "
+                            "page cache")
     serve.add_argument("--no-feed", action="store_true",
                        help="disable the /feeds endpoint (skips building "
                             "the archive)")
@@ -196,8 +208,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _config(args: argparse.Namespace):
     if args.scenario == "paper":
-        return paper_scenario(n_samples=args.samples, seed=args.seed)
-    return dynamics_scenario(n_samples=args.samples, seed=args.seed)
+        config = paper_scenario(n_samples=args.samples, seed=args.seed)
+    else:
+        config = dynamics_scenario(n_samples=args.samples, seed=args.seed)
+    if config.block_format != args.store_format:
+        config = dataclasses.replace(config, block_format=args.store_format)
+    return config
 
 
 def _data(args: argparse.Namespace, metrics=None) -> ExperimentData:
@@ -400,7 +416,8 @@ def cmd_serve(args: argparse.Namespace, metrics=None) -> int:
     from repro.serve import ReportServer, TenantRegistry
     from repro.vt.feed import FeedArchive
 
-    store = ReportStore.load(args.store_path, metrics=metrics)
+    store = ReportStore.load(args.store_path, metrics=metrics,
+                             use_mmap=args.mmap)
     tenants = TenantRegistry()
     specs = args.api_key or ["demo-free:free", "demo-premium:premium"]
     for spec in specs:

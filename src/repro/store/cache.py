@@ -38,12 +38,21 @@ DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
 #: bytes-object header, order-of-magnitude).
 _RECORD_OVERHEAD = 64
 
-BlockKey = tuple[int, int]  # (month, block index)
+#: ``(month, block)`` for record-list decodes; columnar decodes of the
+#: same block cache separately under ``(month, block, "batch")``.
+BlockKey = tuple
 
 
-def _cost(records: list[bytes]) -> int:
-    """Approximate resident size of one decoded block."""
-    return sum(len(r) for r in records) + _RECORD_OVERHEAD * len(records)
+def _cost(entry) -> int:
+    """Approximate resident size of one decoded block.
+
+    Accepts both cacheable shapes: a record list (row decode) or a
+    columnar batch, which knows its own array footprint via ``nbytes``.
+    """
+    nbytes = getattr(entry, "nbytes", None)
+    if nbytes is not None:
+        return nbytes() if callable(nbytes) else nbytes
+    return sum(len(r) for r in entry) + _RECORD_OVERHEAD * len(entry)
 
 
 @dataclass(frozen=True)
@@ -90,7 +99,7 @@ class BlockCache:
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
         self.max_bytes = max_bytes
-        self._entries: OrderedDict[BlockKey, list[bytes]] = OrderedDict()
+        self._entries: OrderedDict[BlockKey, object] = OrderedDict()
         self._costs: dict[BlockKey, int] = {}
         self._resident = 0
         self.hits = 0
@@ -102,8 +111,8 @@ class BlockCache:
     # Lookup / insert
     # ------------------------------------------------------------------
 
-    def get(self, key: BlockKey) -> list[bytes] | None:
-        """The cached records for ``key``, refreshing recency; None on miss."""
+    def get(self, key: BlockKey):
+        """The cached decode for ``key``, refreshing recency; None on miss."""
         records = self._entries.get(key)
         if records is None:
             self.misses += 1
@@ -112,7 +121,7 @@ class BlockCache:
         self._entries.move_to_end(key)
         return records
 
-    def put(self, key: BlockKey, records: list[bytes]) -> None:
+    def put(self, key: BlockKey, records) -> None:
         """Insert a decoded block, evicting LRU entries past the byte cap.
 
         Blocks larger than the whole cache are not admitted (caching one

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from array import array
 from typing import Sequence
 
 from repro.errors import CorruptRecordError
+from repro.store import columnar
 from repro.vt.reports import ScanReport
 
 #: Fixed header: scan_time, positives, total, first/last submission,
@@ -28,6 +30,23 @@ from repro.vt.reports import ScanReport
 _HEADER = struct.Struct("<qHHqqqIHH")
 
 _MAGIC = b"RPR1"
+
+#: Block layouts a shard can freeze records into.  ``row`` is the
+#: original RPR1 framing (one length-prefixed record after another);
+#: ``columnar`` is the RPR3 layout of :mod:`repro.store.columnar`
+#: (dictionary/delta-encoded columns).  Both decode back to identical
+#: record bytes, so the store digest is layout-independent.
+BLOCK_FORMAT_ROW = "row"
+BLOCK_FORMAT_COLUMNAR = "columnar"
+BLOCK_FORMATS = (BLOCK_FORMAT_ROW, BLOCK_FORMAT_COLUMNAR)
+
+
+def resolve_block_format(value: str) -> str:
+    """Validate a block-format name (the config/CLI entry point)."""
+    if value not in BLOCK_FORMATS:
+        raise CorruptRecordError(
+            f"unknown block format {value!r}; expected one of {BLOCK_FORMATS}")
+    return value
 
 
 def encode_report(report: ScanReport) -> bytes:
@@ -162,8 +181,18 @@ def render_verbose_json(report: ScanReport, engine_names: Sequence[str]) -> str:
     return json.dumps(doc)
 
 
-def encode_block(records: list[bytes]) -> bytes:
-    """Frame a list of records into one uncompressed block payload."""
+def encode_block(records: list[bytes],
+                 block_format: str = BLOCK_FORMAT_ROW) -> bytes:
+    """Frame a list of records into one uncompressed block payload.
+
+    ``block_format`` selects the layout; either way
+    :func:`decode_block` recovers the identical record bytes.
+    """
+    if block_format == BLOCK_FORMAT_COLUMNAR:
+        return columnar.encode_columnar(
+            columnar.ColumnarBatch.from_records(records))
+    if block_format != BLOCK_FORMAT_ROW:
+        raise CorruptRecordError(f"unknown block format {block_format!r}")
     parts = [_MAGIC, struct.pack("<I", len(records))]
     for record in records:
         parts.append(struct.pack("<I", len(record)))
@@ -172,7 +201,13 @@ def encode_block(records: list[bytes]) -> bytes:
 
 
 def decode_block(payload: bytes) -> list[bytes]:
-    """Split a block payload back into its records."""
+    """Split a block payload back into its records.
+
+    Dispatches on the payload magic, so row (RPR1) and columnar (RPR3)
+    blocks are both accepted transparently.
+    """
+    if payload[:4] == columnar.COLUMNAR_MAGIC:
+        return columnar.decode_columnar_records(payload)
     if payload[:4] != _MAGIC:
         raise CorruptRecordError("bad block magic")
     (count,) = struct.unpack_from("<I", payload, 4)
@@ -189,3 +224,74 @@ def decode_block(payload: bytes) -> list[bytes]:
         records.append(record)
         offset += size
     return records
+
+
+def block_format_of(payload: bytes) -> str:
+    """The layout of an uncompressed block payload, by magic."""
+    if payload[:4] == columnar.COLUMNAR_MAGIC:
+        return BLOCK_FORMAT_COLUMNAR
+    if payload[:4] == _MAGIC:
+        return BLOCK_FORMAT_ROW
+    raise CorruptRecordError("bad block magic")
+
+
+def decode_batch(payload: bytes) -> "columnar.ColumnarBatch":
+    """Decode an uncompressed block payload into a columnar batch.
+
+    Row blocks are bulk-parsed into columns; columnar blocks decode
+    natively.
+    """
+    if payload[:4] == columnar.COLUMNAR_MAGIC:
+        return columnar.decode_columnar(payload)
+    return columnar.ColumnarBatch.from_records(decode_block(payload))
+
+
+def _partial_decompress(compressed, limit: int) -> bytes:
+    """Decompress at most ``limit`` output bytes of a zlib stream."""
+    decomp = zlib.decompressobj()
+    chunks = []
+    produced = 0
+    data = compressed
+    while produced < limit:
+        chunk = decomp.decompress(data, limit - produced)
+        if not chunk and not decomp.unconsumed_tail:
+            break
+        chunks.append(chunk)
+        produced += len(chunk)
+        data = decomp.unconsumed_tail
+        if not data:
+            break
+    return b"".join(chunks)
+
+
+def peek_block_format(compressed) -> str:
+    """The layout of a *compressed* block, decompressing only the magic."""
+    try:
+        head = _partial_decompress(compressed, 4)
+    except zlib.error as exc:
+        raise CorruptRecordError(f"undecodable block: {exc}") from exc
+    return block_format_of(head)
+
+
+def decode_compressed_batch(compressed,
+                            planes: bool = True) -> "columnar.ColumnarBatch":
+    """Decode a zlib-compressed block payload into a columnar batch.
+
+    With ``planes=False`` on a columnar block, only the prefix holding
+    the fixed columns is decompressed — the label/version planes, which
+    dominate the decompressed size, are never inflated.  This is the
+    fast path under the streaming series kernels.  Row blocks always
+    decompress fully (their layout interleaves everything).
+    """
+    try:
+        if planes:
+            return decode_batch(zlib.decompress(compressed))
+        head = _partial_decompress(compressed, columnar.META_PREFIX_PROBE)
+        if head[:4] != columnar.COLUMNAR_MAGIC:
+            return decode_batch(zlib.decompress(compressed))
+        meta_end = columnar.meta_section_end(head)
+        if meta_end > len(head):
+            head += _partial_decompress(compressed, meta_end)[len(head):]
+        return columnar.decode_columnar(head[:meta_end], planes=False)
+    except zlib.error as exc:
+        raise CorruptRecordError(f"undecodable block: {exc}") from exc

@@ -123,6 +123,17 @@ def decode_index(
     return index, meta
 
 
+def sample_ranks(index: dict[str, list[IndexEntry]]) -> dict[str, int]:
+    """``sha256 → first-ingest rank`` for every indexed sample.
+
+    The mapping's insertion order *is* first-ingest order (and survives
+    a save/load round trip — :func:`encode_index` writes samples in that
+    order).  The columnar series kernels use these ranks to reproduce
+    the row path's sample ordering bit-for-bit.
+    """
+    return {sha: rank for rank, sha in enumerate(index)}
+
+
 def latest_entry(entries: list[IndexEntry]) -> IndexEntry:
     """The entry of a sample's *latest* report.
 

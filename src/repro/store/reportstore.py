@@ -32,20 +32,25 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap as _mmap
 import struct
 from pathlib import Path
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import CorruptRecordError, ShardClosedError, UnknownSampleError
 from repro.obs import NULL_REGISTRY, traced
-from repro.store import codec
+from repro.store import codec, columnar
 from repro.store.cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats
+from repro.store.columnar import ColumnarBatch, SeriesFrame
 from repro.store.index import (
     INDEX_FORMAT,
     IndexEntry,
     decode_index,
     encode_index,
     latest_entry,
+    sample_ranks,
 )
 from repro.store.shard import DEFAULT_BLOCK_RECORDS, CompressedBlock, MonthlyShard
 from repro.store.stats import StoreStats, compute_store_stats
@@ -53,13 +58,44 @@ from repro.vt.clock import month_index, month_label
 from repro.vt.reports import ScanReport
 
 _FILE_MAGIC = b"RPRSTORE"
-#: Current on-disk format: v2 embeds the point-lookup index section.
-_FILE_VERSION = 2
+#: Current on-disk format: v3 freezes blocks in the columnar layout
+#: (v2 introduced the embedded point-lookup index section, which v3
+#: keeps unchanged).
+_FILE_VERSION = 3
 #: Formats :meth:`ReportStore.load` accepts.  v1 (the original format)
-#: has no index section — the index is rebuilt lazily instead.
-_SUPPORTED_VERSIONS = (1, 2)
+#: has no index section — the index is rebuilt lazily instead; v2 is
+#: row blocks plus the index; v3 is columnar blocks plus the index.
+_SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: File version each block layout saves as by default.
+_VERSION_OF_FORMAT = {codec.BLOCK_FORMAT_ROW: 2,
+                      codec.BLOCK_FORMAT_COLUMNAR: 3}
+#: Block layout implied by each file version.
+_FORMAT_OF_VERSION = {1: codec.BLOCK_FORMAT_ROW,
+                      2: codec.BLOCK_FORMAT_ROW,
+                      3: codec.BLOCK_FORMAT_COLUMNAR}
 
 Address = tuple[int, int, int]  # (month, block, slot)
+
+
+class _MappedReader:
+    """Sequential zero-copy reader over a memory-mapped store file.
+
+    ``read`` returns :class:`memoryview` slices into the mapping, so
+    block payloads loaded through it occupy no private memory — the page
+    cache backs them, and forked workers share the pages.  Callers that
+    need real bytes (struct/JSON decoding of the small header fields)
+    wrap the view in ``bytes(...)``.
+    """
+
+    def __init__(self, mapping: "_mmap.mmap") -> None:
+        self._view = memoryview(mapping)
+        self._pos = 0
+
+    def read(self, size: int) -> memoryview:
+        view = self._view[self._pos:self._pos + size]
+        self._pos += len(view)
+        return view
 
 #: Fixed bucket edges (bytes) for the encoded-record-size histogram.
 RECORD_BYTES_EDGES: tuple[int, ...] = (64, 128, 192, 256, 384, 512, 1024, 2048)
@@ -73,8 +109,13 @@ class ReportStore:
         block_records: int = DEFAULT_BLOCK_RECORDS,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         metrics=None,
+        block_format: str = codec.BLOCK_FORMAT_COLUMNAR,
     ) -> None:
         self.block_records = block_records
+        self.block_format = codec.resolve_block_format(block_format)
+        #: Keeps a memory-mapped file (and its buffer) alive for stores
+        #: loaded with ``mmap=True``; block payloads are views into it.
+        self._mmap = None
         self.shards: dict[int, MonthlyShard] = {}
         self._index: dict[str, list[IndexEntry]] = {}
         self._sample_meta: dict[str, tuple[str, bool]] = {}
@@ -93,6 +134,7 @@ class ReportStore:
         self._m_record_bytes = self.metrics.histogram(
             "store.ingest.record_bytes", edges=RECORD_BYTES_EDGES)
         self._m_duplicates = self.metrics.counter("store.ingest.duplicates")
+        self._m_batch_records = self.metrics.counter("store.ingest.batch_records")
         self._m_cache_hits = self.metrics.counter("store.cache.hits")
         self._m_cache_misses = self.metrics.counter("store.cache.misses")
         self._m_open_reads = self.metrics.counter("store.cache.open_reads")
@@ -109,10 +151,7 @@ class ReportStore:
             raise ShardClosedError("store is closed")
         self._ensure_index()
         month = month_index(report.scan_time)
-        shard = self.shards.get(month)
-        if shard is None:
-            shard = MonthlyShard(month, block_records=self.block_records)
-            self.shards[month] = shard
+        shard = self._shard(month)
         record = codec.encode_report(report)
         block, slot = shard.append(record, codec.verbose_json_size(report))
         self._m_ingest_bytes.inc(len(record))
@@ -125,7 +164,7 @@ class ReportStore:
         # The open buffer is never cached, so this is a no-op today; it
         # pins the invalidation contract (any mutation of block `block`
         # must drop a cached decode of it) independent of cache policy.
-        self._cache.invalidate((month, block))
+        self._invalidate_block(month, block)
         self._index.setdefault(report.sha256, []).append(
             (month, block, slot, report.scan_time))
         self._scan_index.setdefault(report.sha256, set()).add(report.scan_time)
@@ -168,6 +207,55 @@ class ReportStore:
             count += 1
         return count
 
+    def ingest_arrays(self, batch: ColumnarBatch) -> int:
+        """Bulk-ingest a columnar batch; returns the count ingested.
+
+        The array fast path: records are split by month vectorised, and
+        whole blocks of a columnar shard are encoded straight from array
+        slices, never materialising per-record python bytes for them.
+        Digest-equivalent to ingesting ``batch``'s reports one by one in
+        row order.
+
+        Index maintenance is deferred (like a v1 load): the per-sample
+        index rebuilds lazily on the first per-sample access instead of
+        being updated record by record, which is what keeps this path
+        fast for analytics ingest.
+        """
+        if self.closed:
+            raise ShardClosedError("store is closed")
+        n = len(batch)
+        if n == 0:
+            return 0
+        months = columnar.month_indices(batch.scan_time.astype(np.int64))
+        sorted_by_month = bool((months[1:] >= months[:-1]).all())
+        uniq_months = np.unique(months)
+        edges = np.searchsorted(months, uniq_months, side="left") \
+            if sorted_by_month else None
+        for k, month in enumerate(uniq_months.tolist()):
+            if sorted_by_month:
+                # Chronological input → months are contiguous runs, and a
+                # slice (plane views, no gather) replaces the masked take.
+                stop = int(edges[k + 1]) if k + 1 < len(uniq_months) else n
+                sub = batch.slice(int(edges[k]), stop)
+            else:
+                sub = batch.take(months == month)
+            shard = self._shard(month)
+            self._invalidate_block(month, len(shard.blocks))
+            shard.extend_batch(sub)
+            self._m_ingest_bytes.inc(sub.encoded_bytes())
+            month_counter = self._m_month_records.get(month)
+            if month_counter is None:
+                month_counter = self._m_month_records[month] = (
+                    self.metrics.counter("store.ingest.records",
+                                         month=month_label(month)))
+            month_counter.inc(len(sub))
+            if self.metrics.enabled:
+                for size in sub._record_sizes().tolist():
+                    self._m_record_bytes.observe(size)
+        self._m_batch_records.inc(n)
+        self._index_ready = False
+        return n
+
     def flush(self) -> None:
         """Freeze every shard's open buffer into a compressed block.
 
@@ -176,15 +264,28 @@ class ReportStore:
         into exactly the block index its records were assigned).
         """
         for shard in self.shards.values():
-            self._cache.invalidate((shard.month, len(shard.blocks)))
+            self._invalidate_block(shard.month, len(shard.blocks))
             shard.flush()
 
     def close(self) -> None:
         """Flush and seal every shard; further ingests raise."""
         for shard in self.shards.values():
-            self._cache.invalidate((shard.month, len(shard.blocks)))
+            self._invalidate_block(shard.month, len(shard.blocks))
             shard.close()
         self.closed = True
+
+    def _shard(self, month: int) -> MonthlyShard:
+        shard = self.shards.get(month)
+        if shard is None:
+            shard = MonthlyShard(month, block_records=self.block_records,
+                                 block_format=self.block_format)
+            self.shards[month] = shard
+        return shard
+
+    def _invalidate_block(self, month: int, block_idx: int) -> None:
+        """Drop both cached decodes (records and batch) of one block."""
+        self._cache.invalidate((month, block_idx))
+        self._cache.invalidate((month, block_idx, "batch"))
 
     # ------------------------------------------------------------------
     # Accounting
@@ -323,6 +424,31 @@ class ReportStore:
         """Alias of :meth:`report_series` (the original name)."""
         return self.report_series(sha256)
 
+    def _batch(self, month: int, block_idx: int) -> ColumnarBatch:
+        """Decoded columnar batch of one block, write-aware.
+
+        The batch analogue of :meth:`_block`: frozen-block batches are
+        cached (under a key distinct from the record-list decode), open
+        buffers are bulk-parsed live and never cached.
+        """
+        shard = self.shards[month]
+        if block_idx >= len(shard.blocks):
+            self._open_reads += 1
+            self._m_open_reads.inc()
+            return ColumnarBatch.from_records(
+                shard.block_records_at(block_idx))
+        key = (month, block_idx, "batch")
+        batch = self._cache.get(key)
+        if batch is None:
+            batch = shard.blocks[block_idx].batch()
+            self._blocks_decoded += 1
+            self._m_cache_misses.inc()
+            self._m_decoded.inc()
+            self._cache.put(key, batch)
+        else:
+            self._m_cache_hits.inc()
+        return batch
+
     def latest_report(self, sha256: str) -> ScanReport:
         """The sample's most recent report — what ``GET /files/{id}``
         serves.
@@ -332,8 +458,14 @@ class ReportStore:
         one) no matter how many months or reports the store holds.  Ties
         on the scan minute resolve to the last-ingested report, matching
         the final element of :meth:`report_series`.
+
+        On a columnar store the block decodes straight to arrays and
+        only the hit slot is materialised; row stores keep the record
+        path.
         """
         month, block, slot, _ = latest_entry(self._entries(sha256))
+        if self.block_format == codec.BLOCK_FORMAT_COLUMNAR:
+            return self._batch(month, block).report(slot)
         return codec.decode_report(self._block(month, block)[slot])
 
     def iter_reports(self) -> Iterator[ScanReport]:
@@ -381,6 +513,40 @@ class ReportStore:
                     resident -= len(reports)
                     reports.sort(key=lambda r: r.scan_time)
                     yield sha256, reports
+
+    def iter_batches(self, planes: bool = True) -> Iterator[ColumnarBatch]:
+        """Per-block columnar batches, month by month in block order.
+
+        The streaming substrate of the analysis kernels: one sequential
+        pass, one decode per block, no per-report python objects.  With
+        ``planes=False`` columnar blocks decompress only their fixed
+        columns — the per-engine planes, which dominate decompressed
+        bytes, stay compressed.  The open buffer of a live shard is
+        bulk-parsed last, exactly like :meth:`iter_record_blocks`.
+        """
+        for month in sorted(self.shards):
+            for batch in self.shards[month].iter_batches(planes=planes):
+                self._blocks_decoded += 1
+                self._m_decoded.inc()
+                yield batch
+
+    def series_frame(self) -> SeriesFrame:
+        """Every sample's AV-Rank trajectory as flat numpy arrays.
+
+        The columnar replacement for
+        ``collect_series(iter_sample_reports())``: same grouping, same
+        time-sorting, same sample order (its :meth:`SeriesFrame.
+        to_series` is bit-identical to the row path), built from a
+        metadata-only streaming pass that never inflates the per-engine
+        planes or constructs per-report objects.
+        """
+        if self._index_ready:
+            return SeriesFrame.from_batches(self.iter_batches(planes=False),
+                                            sample_ranks(self._index))
+        # Deferred index (bulk ingest / v1 load): a rebuilt index would
+        # rank samples by first occurrence in exactly the stream order
+        # from_batches sees, so the rebuild can be skipped outright.
+        return SeriesFrame.from_batches(self.iter_batches(planes=False))
 
     # ------------------------------------------------------------------
     # Cache control / instrumentation
@@ -444,7 +610,8 @@ class ReportStore:
     # ------------------------------------------------------------------
 
     @traced("store.save.seconds")
-    def save(self, path: str | Path, *, include_index: bool = True) -> None:
+    def save(self, path: str | Path, *, include_index: bool = True,
+             format_version: int | None = None) -> None:
         """Write the store to a single self-describing file.
 
         Non-mutating: saving a live (unclosed) store is a pure snapshot.
@@ -454,17 +621,37 @@ class ReportStore:
         afterwards.  (An earlier revision flushed each shard mid-save,
         silently changing the block layout of a live store.)
 
-        By default the file is format v2: the point-lookup index
-        (:mod:`repro.store.index`) is embedded right after the header, so
-        reloading decodes no blocks.  ``include_index=False`` writes the
-        legacy v1 layout byte-for-byte (no index section, version 1 in
-        the header) — kept for compatibility tests and for producing
-        files older readers accept.
+        ``format_version`` picks the on-disk format explicitly:
+
+        * ``1`` — row blocks, no index section (the original layout);
+        * ``2`` — row blocks plus the embedded point-lookup index;
+        * ``3`` — columnar blocks plus the index (the default for
+          columnar stores).
+
+        ``None`` infers it from the store's own block layout (and from
+        ``include_index=False``, which keeps meaning "write a v1
+        file").  Blocks whose frozen layout differs from the target are
+        transcoded record-for-record; because both encoders are pure
+        functions of the record sequence (one fixed zlib level per
+        layout), the output
+        is byte-exact against a store that had always used the target
+        layout — v2 files written by a columnar store are
+        bit-identical to those written by a row store of the same
+        contents, and vice versa.
         """
         self._ensure_index()
         path = Path(path)
+        if format_version is None:
+            format_version = (1 if not include_index
+                              else _VERSION_OF_FORMAT[self.block_format])
+        if format_version not in _SUPPORTED_VERSIONS:
+            raise CorruptRecordError(
+                f"unsupported store version {format_version}")
+        if format_version == 1:
+            include_index = False
+        target_format = _FORMAT_OF_VERSION[format_version]
         header = {
-            "version": _FILE_VERSION if include_index else 1,
+            "version": format_version,
             "block_records": self.block_records,
             "months": sorted(self.shards),
             # Retrieval-layer counters ride along so a save()+reopen
@@ -498,10 +685,12 @@ class ReportStore:
                 fh.write(index_payload)
             for month in sorted(self.shards):
                 shard = self.shards[month]
-                blocks = list(shard.blocks)
+                blocks = [self._transcoded(block, target_format)
+                          for block in shard.blocks]
                 buffered = shard.buffered_records()
                 if buffered:
-                    blocks.append(CompressedBlock.from_records(buffered))
+                    blocks.append(
+                        CompressedBlock.from_records(buffered, target_format))
                 fh.write(struct.pack("<iIqqq", month, len(blocks),
                                      shard.report_count, shard.verbose_bytes,
                                      shard.encoded_bytes))
@@ -510,16 +699,37 @@ class ReportStore:
                                          block.record_count, block.raw_bytes))
                     fh.write(block.payload)
 
+    @staticmethod
+    def _transcoded(block: CompressedBlock, target_format: str) -> CompressedBlock:
+        """The block as-is when already in the target layout, else re-encoded.
+
+        Dispatches on the block's own magic (not the shard's nominal
+        format) so stores holding mixed layouts — e.g. after a merge
+        spliced foreign blocks — still save a uniform, byte-exact file.
+        """
+        if codec.peek_block_format(block.payload) == target_format:
+            return block
+        return CompressedBlock.from_records(block.records(), target_format)
+
     @classmethod
     @traced("store.load.seconds")
     def load(cls, path: str | Path, *, reopen: bool = False,
-             metrics=None) -> "ReportStore":
+             metrics=None, use_mmap: bool = False) -> "ReportStore":
         """Reload a store written by :meth:`save`.
 
-        A v2 file carries its point-lookup index inline, so loading
+        A v2/v3 file carries its point-lookup index inline, so loading
         decodes no blocks at all; a legacy v1 file (no index section)
         loads too, deferring the index rebuild until the first
-        per-sample access actually needs it (lazy fallback).
+        per-sample access actually needs it (lazy fallback).  The block
+        layout (row for v1/v2, columnar for v3) is taken from the file
+        version, so new appends and re-saves stay format-consistent.
+
+        With ``use_mmap=True`` the file is memory-mapped and every block
+        payload is a zero-copy view into the mapping: nothing but the
+        header and index is read eagerly, the page cache backs all block
+        bytes, and — the point — fork-based executor workers *share*
+        those pages instead of each re-reading (or worse, copying) the
+        file.  The mapping lives as long as the store does.
 
         By default the loaded store is sealed (analysis use).  With
         ``reopen=True`` the shards stay writable so ingest can continue —
@@ -529,16 +739,25 @@ class ReportStore:
         """
         path = Path(path)
         with path.open("rb") as fh:
-            if fh.read(len(_FILE_MAGIC)) != _FILE_MAGIC:
+            if use_mmap:
+                mapping = _mmap.mmap(fh.fileno(), 0,
+                                     access=_mmap.ACCESS_READ)
+                reader = _MappedReader(mapping)
+            else:
+                mapping = None
+                reader = fh
+            if reader.read(len(_FILE_MAGIC)) != _FILE_MAGIC:
                 raise CorruptRecordError(f"{path} is not a report store")
-            (header_len,) = struct.unpack("<I", fh.read(4))
-            header = json.loads(fh.read(header_len).decode("utf-8"))
+            (header_len,) = struct.unpack("<I", reader.read(4))
+            header = json.loads(bytes(reader.read(header_len)).decode("utf-8"))
             if header["version"] not in _SUPPORTED_VERSIONS:
                 raise CorruptRecordError(
                     f"unsupported store version {header['version']}"
                 )
             store = cls(block_records=header["block_records"],
-                        metrics=metrics)
+                        metrics=metrics,
+                        block_format=_FORMAT_OF_VERSION[header["version"]])
+            store._mmap = mapping
             index_info = header.get("index")
             index_payload = None
             if index_info is not None:
@@ -546,7 +765,7 @@ class ReportStore:
                     raise CorruptRecordError(
                         f"unsupported store index format "
                         f"{index_info['format']}")
-                index_payload = fh.read(index_info["bytes"])
+                index_payload = reader.read(index_info["bytes"])
                 if len(index_payload) != index_info["bytes"]:
                     raise CorruptRecordError("truncated store index")
             counters = header.get("retrieval_counters")
@@ -561,14 +780,15 @@ class ReportStore:
                     "peak_stream_reports", 0)
             for _ in header["months"]:
                 month, n_blocks, report_count, verbose, encoded = struct.unpack(
-                    "<iIqqq", fh.read(struct.calcsize("<iIqqq"))
+                    "<iIqqq", bytes(reader.read(struct.calcsize("<iIqqq")))
                 )
-                shard = MonthlyShard(month, block_records=store.block_records)
+                shard = MonthlyShard(month, block_records=store.block_records,
+                                     block_format=store.block_format)
                 for _ in range(n_blocks):
                     size, record_count, raw = struct.unpack(
-                        "<IIq", fh.read(struct.calcsize("<IIq"))
+                        "<IIq", bytes(reader.read(struct.calcsize("<IIq")))
                     )
-                    payload = fh.read(size)
+                    payload = reader.read(size)
                     if len(payload) != size:
                         raise CorruptRecordError("truncated store file")
                     shard.blocks.append(
@@ -580,7 +800,7 @@ class ReportStore:
                 shard.closed = not reopen
                 store.shards[month] = shard
         if index_payload is not None:
-            index, meta = decode_index(index_payload)
+            index, meta = decode_index(bytes(index_payload))
             store._index = index
             store._sample_meta = meta
             store._scan_index = {
@@ -598,21 +818,76 @@ class ReportStore:
             self._rebuild_index()
 
     def _rebuild_index(self) -> None:
+        """Rebuild the per-sample index from the records themselves.
+
+        One vectorised pass over metadata-only batches (covering open
+        buffers too — the bulk :meth:`ingest_arrays` path defers
+        indexing): all addresses, scan times and first-occurrence
+        metadata come out of numpy gathers, and only the per-sample
+        python dict entries are built in a loop.  Entry order, dict
+        insertion order and metadata choice are identical to what the
+        old per-record peek loop produced.
+        """
         self._index.clear()
         self._sample_meta.clear()
         self._scan_index.clear()
+        parts: list[tuple[int, int, "ColumnarBatch"]] = []
+        names: dict[str, int] = {}
+        ftype_parts: list[np.ndarray] = []
         for month in sorted(self.shards):
             shard = self.shards[month]
-            for block_idx, block in enumerate(shard.blocks):
-                for slot, record in enumerate(block.records()):
-                    sha, scan_time, first_sub = codec.peek_meta(record)
-                    self._index.setdefault(sha, []).append(
-                        (month, block_idx, slot, scan_time)
-                    )
-                    self._scan_index.setdefault(sha, set()).add(scan_time)
-                    if sha not in self._sample_meta:
-                        report = codec.decode_report(record)
-                        self._sample_meta[sha] = (
-                            report.file_type, first_sub >= 0
-                        )
+            for block_idx, batch in enumerate(
+                    shard.iter_batches(planes=False)):
+                if len(batch) == 0:
+                    continue
+                parts.append((month, block_idx, batch))
+                local = np.zeros(max(len(batch.ftypes), 1), np.int64)
+                for i, name in enumerate(batch.ftypes):
+                    local[i] = names.setdefault(name, len(names))
+                ftype_parts.append(local[batch.ftype_codes.astype(np.int64)])
+        if not parts:
+            self._index_ready = True
+            return
+        months = np.concatenate(
+            [np.full(len(b), m, np.int64) for m, _, b in parts])
+        blocks = np.concatenate(
+            [np.full(len(b), i, np.int64) for _, i, b in parts])
+        slots = np.concatenate(
+            [np.arange(len(b), dtype=np.int64) for _, _, b in parts])
+        times = np.concatenate(
+            [b.scan_time.astype(np.int64) for _, _, b in parts])
+        fresh = np.concatenate(
+            [b.first_submission.astype(np.int64) >= 0 for _, _, b in parts])
+        shas = np.concatenate([b.shas for _, _, b in parts])
+        ftypes = np.concatenate(ftype_parts)
+        n_total = len(shas)
+
+        uniq, inv = np.unique(shas, return_inverse=True)
+        n_uniq = len(uniq)
+        first_pos = np.full(n_uniq, n_total, np.int64)
+        np.minimum.at(first_pos, inv, np.arange(n_total, dtype=np.int64))
+        order = np.argsort(inv, kind="stable")   # group rows, stream order
+        bounds = np.zeros(n_uniq + 1, np.int64)
+        np.cumsum(np.bincount(inv, minlength=n_uniq), out=bounds[1:])
+
+        # Hexadecimal digests only once per *unique* sha; tobytes() pads
+        # S32 elements back to their full width (indexing strips NULs).
+        blob = uniq.tobytes()
+        hexes = [blob[32 * i:32 * i + 32].hex() for i in range(n_uniq)]
+        m_l = months[order].tolist()
+        b_l = blocks[order].tolist()
+        s_l = slots[order].tolist()
+        t_l = times[order].tolist()
+        bounds_l = bounds.tolist()
+        fresh_first = fresh[first_pos].tolist()
+        names_list = list(names)
+        ftype_first = ftypes[first_pos].tolist()
+        for u in np.argsort(first_pos, kind="stable").tolist():
+            lo, hi = bounds_l[u], bounds_l[u + 1]
+            sha = hexes[u]
+            self._index[sha] = list(
+                zip(m_l[lo:hi], b_l[lo:hi], s_l[lo:hi], t_l[lo:hi]))
+            self._scan_index[sha] = set(t_l[lo:hi])
+            self._sample_meta[sha] = (
+                names_list[ftype_first[u]], fresh_first[u])
         self._index_ready = True

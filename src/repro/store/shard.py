@@ -6,22 +6,45 @@ accumulates encoded report records, freezing them into zlib-compressed
 random-access granularity: the store's per-sample index addresses a report
 as ``(month, block, slot)`` and only that block must be decompressed to
 fetch it.
+
+Blocks freeze in one of two layouts (see :mod:`repro.store.codec`): the
+row layout (RPR1, length-prefixed records) or the columnar layout (RPR3,
+dictionary/delta-encoded columns).  Both decode back to identical record
+bytes; readers dispatch on the block magic, so a shard can even hold a
+mix (e.g. after a merge spliced foreign blocks in).
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import ShardClosedError
+from repro.errors import CorruptRecordError, ShardClosedError
 from repro.store import codec
+
+if TYPE_CHECKING:
+    from repro.store.columnar import ColumnarBatch
 
 #: Default records per compressed block.
 DEFAULT_BLOCK_RECORDS = 256
 
 #: zlib level: 6 is the sweet spot for these highly repetitive records.
 _ZLIB_LEVEL = 6
+
+#: Columnar blocks compress at level 1: the dictionary/delta/XOR
+#: pre-conditioning has already removed most entropy (the planes are
+#: near-all-zero), so the fast level costs ~1 point of ratio — still
+#: well below the row layout at level 6 — and halves the freeze cost.
+#: The store digest covers decompressed record bytes, so the level is
+#: not part of any byte-exactness contract *except* that every site
+#: freezing a columnar block must use the same one.
+_ZLIB_LEVEL_COLUMNAR = 1
+
+
+def _zlib_level(block_format: str) -> int:
+    return (_ZLIB_LEVEL_COLUMNAR
+            if block_format == codec.BLOCK_FORMAT_COLUMNAR else _ZLIB_LEVEL)
 
 
 @dataclass(frozen=True)
@@ -38,14 +61,48 @@ class CompressedBlock:
 
     def records(self) -> list[bytes]:
         """Decompress and split the block into its records."""
-        return codec.decode_block(zlib.decompress(self.payload))
+        try:
+            framed = zlib.decompress(self.payload)
+        except zlib.error as exc:
+            raise CorruptRecordError(
+                f"undecompressable block: {exc}") from exc
+        return codec.decode_block(framed)
+
+    def batch(self, planes: bool = True) -> "ColumnarBatch":
+        """Decode the block into a columnar batch.
+
+        With ``planes=False`` a columnar block only decompresses its
+        fixed-column prefix (the label/version planes stay compressed);
+        row blocks fall back to a full decode either way.
+        """
+        return codec.decode_compressed_batch(self.payload, planes=planes)
 
     @classmethod
-    def from_records(cls, records: list[bytes]) -> "CompressedBlock":
-        framed = codec.encode_block(records)
+    def from_records(
+        cls, records: list[bytes],
+        block_format: str = codec.BLOCK_FORMAT_ROW,
+    ) -> "CompressedBlock":
+        framed = codec.encode_block(records, block_format)
         return cls(
-            payload=zlib.compress(framed, _ZLIB_LEVEL),
+            payload=zlib.compress(framed, _zlib_level(block_format)),
             record_count=len(records),
+            raw_bytes=len(framed),
+        )
+
+    @classmethod
+    def from_batch(cls, batch: "ColumnarBatch") -> "CompressedBlock":
+        """Freeze a columnar batch directly (no row materialisation).
+
+        Byte-identical to ``from_records(batch.to_records(),
+        BLOCK_FORMAT_COLUMNAR)``: the columnar encoding is a pure
+        function of the record sequence.
+        """
+        from repro.store.columnar import encode_columnar
+
+        framed = encode_columnar(batch)
+        return cls(
+            payload=zlib.compress(framed, _ZLIB_LEVEL_COLUMNAR),
+            record_count=len(batch),
             raw_bytes=len(framed),
         )
 
@@ -57,10 +114,13 @@ class MonthlyShard:
     Appended records buffer until ``block_records`` accumulate, then the
     buffer freezes into a :class:`CompressedBlock`.  ``flush`` freezes a
     partial buffer; ``close`` flushes and rejects further appends.
+    ``block_format`` picks the layout new blocks freeze into; existing
+    blocks (e.g. loaded from disk) keep whatever layout they have.
     """
 
     month: int
     block_records: int = DEFAULT_BLOCK_RECORDS
+    block_format: str = codec.BLOCK_FORMAT_ROW
     blocks: list[CompressedBlock] = field(default_factory=list)
     _buffer: list[bytes] = field(default_factory=list, repr=False)
     closed: bool = False
@@ -93,10 +153,47 @@ class MonthlyShard:
             self.flush()
         return block_idx, slot
 
+    def extend_batch(self, batch: "ColumnarBatch") -> None:
+        """Bulk-append a columnar batch (the array-ingest fast path).
+
+        Equivalent to appending ``batch.to_records()`` one by one —
+        identical block layout, identical accounting — but full blocks
+        are encoded straight from array slices, so when the shard is
+        columnar no per-record bytes are ever materialised for them.
+        """
+        if self.closed:
+            raise ShardClosedError(f"shard for month {self.month} is closed")
+        n = len(batch)
+        if n == 0:
+            return
+        pos = 0
+        if self._buffer:
+            # Top up the open buffer to a block boundary first.
+            take = min(self.block_records - len(self._buffer), n)
+            self._buffer.extend(batch.slice(0, take).to_records())
+            pos = take
+            if len(self._buffer) >= self.block_records:
+                self.flush()
+        while n - pos >= self.block_records:
+            chunk = batch.slice(pos, pos + self.block_records)
+            if self.block_format == codec.BLOCK_FORMAT_COLUMNAR:
+                self.blocks.append(CompressedBlock.from_batch(chunk))
+            else:
+                self.blocks.append(CompressedBlock.from_records(
+                    chunk.to_records(), self.block_format))
+            pos += self.block_records
+        if pos < n:
+            self._buffer.extend(batch.slice(pos, n).to_records())
+        self.report_count += n
+        self.verbose_bytes += batch.verbose_bytes()
+        self.encoded_bytes += batch.encoded_bytes()
+        self.generation += 1
+
     def flush(self) -> None:
         """Freeze the open buffer into a compressed block."""
         if self._buffer:
-            self.blocks.append(CompressedBlock.from_records(self._buffer))
+            self.blocks.append(
+                CompressedBlock.from_records(self._buffer, self.block_format))
             self._buffer = []
             self.generation += 1
 
@@ -169,3 +266,17 @@ class MonthlyShard:
             yield block_idx, block.records()
         if self._buffer:
             yield len(self.blocks), list(self._buffer)
+
+    def iter_batches(self, planes: bool = True) -> Iterator["ColumnarBatch"]:
+        """Per-block columnar batches in order, buffer snapshot last.
+
+        The columnar analogue of :meth:`iter_record_blocks`: frozen
+        blocks decode straight to arrays (metadata-only when ``planes``
+        is off), the open buffer bulk-parses its records.
+        """
+        from repro.store.columnar import ColumnarBatch
+
+        for block in self.blocks:
+            yield block.batch(planes=planes)
+        if self._buffer:
+            yield ColumnarBatch.from_records(list(self._buffer))

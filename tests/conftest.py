@@ -9,6 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.experiment import ExperimentData, run_experiment
+from repro.store.reportstore import ReportStore
 from repro.synth.scenario import ScenarioConfig, tiny_scenario
 from repro.vt.engines import EngineFleet, default_fleet
 from repro.vt.reports import ScanReport
@@ -18,6 +19,25 @@ from repro.vt.samples import sha256_of
 @pytest.fixture(scope="session")
 def fleet() -> EngineFleet:
     return default_fleet(seed=0)
+
+
+@pytest.fixture(scope="session", params=["row", "columnar"])
+def store_block_format(request) -> str:
+    """Both block layouts.  Store-bearing suites (index, merge, serve)
+    take this fixture so every contract runs against the row path *and*
+    the columnar v3 path without duplicated test bodies."""
+    return request.param
+
+
+@pytest.fixture()
+def store_factory(store_block_format):
+    """A :class:`ReportStore` constructor pinned to the active layout."""
+
+    def make(**kwargs) -> ReportStore:
+        kwargs.setdefault("block_format", store_block_format)
+        return ReportStore(**kwargs)
+
+    return make
 
 
 @pytest.fixture(scope="session")

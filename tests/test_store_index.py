@@ -1,23 +1,26 @@
 """Tests for the persistent point-lookup index (repro.store.index).
 
-Covers the codec round-trip, the v2 file format, the v1 lazy-rebuild
+Covers the codec round-trip, the v2/v3 file formats, the v1 lazy-rebuild
 fallback, and the regression this layer exists for: single-hash lookups
 must decode only the blocks holding that sample's reports — never scan
-the store.
+the store.  Every store-backed test runs against both block layouts via
+the ``store_block_format`` fixture (tests/conftest.py).
 """
 
 import pytest
 
 from repro.errors import ConfigError, CorruptRecordError, UnknownSampleError
 from repro.store import ReportQuery, ReportStore, decode_index, encode_index
-from repro.store.index import latest_entry
+from repro.store.index import latest_entry, sample_ranks
 from tests.conftest import make_report, make_sha
 
 
 def _spread_store(block_records: int = 4, n_samples: int = 12,
-                  reports_per_sample: int = 3) -> ReportStore:
+                  reports_per_sample: int = 3,
+                  block_format: str = "columnar") -> ReportStore:
     """A store whose samples spread across many blocks and two months."""
-    store = ReportStore(block_records=block_records)
+    store = ReportStore(block_records=block_records,
+                        block_format=block_format)
     shas = [make_sha(f"s{i}") for i in range(n_samples)]
     for rep in range(reports_per_sample):
         for i, sha in enumerate(shas):
@@ -27,6 +30,11 @@ def _spread_store(block_records: int = 4, n_samples: int = 12,
                 sha=sha, scan_time=base + rep * 1000 + i))
     store.close()
     return store
+
+
+@pytest.fixture()
+def spread_store(store_block_format) -> ReportStore:
+    return _spread_store(block_format=store_block_format)
 
 
 class TestCodec:
@@ -81,6 +89,12 @@ class TestCodec:
         with pytest.raises(CorruptRecordError):
             decode_index(zlib.compress(raw + b"\x00\x00"))
 
+    def test_sample_ranks_follow_insertion_order(self):
+        index = {make_sha("b"): [(0, 0, 0, 1)],
+                 make_sha("a"): [(0, 0, 1, 2)]}
+        ranks = sample_ranks(index)
+        assert ranks == {make_sha("b"): 0, make_sha("a"): 1}
+
 
 class TestLatestEntry:
     def test_picks_max_scan_time(self):
@@ -93,18 +107,18 @@ class TestLatestEntry:
 
 
 class TestPointLookup:
-    def test_latest_report_matches_series_tail(self):
-        store = _spread_store()
+    def test_latest_report_matches_series_tail(self, spread_store):
+        store = spread_store
         for sha in store.samples():
             series = store.report_series(sha)
             latest = store.latest_report(sha)
             assert latest == series[-1]
 
-    def test_latest_report_decodes_exactly_one_block_cold(self):
+    def test_latest_report_decodes_exactly_one_block_cold(self, spread_store):
         """The O(1) contract: one point lookup on a cold cache decodes
         one block, regardless of store size (the full-scan bug decoded
         all of them)."""
-        store = _spread_store()
+        store = spread_store
         total_blocks = sum(len(s.blocks) for s in store.shards.values())
         assert total_blocks > 3  # the test is vacuous on a 1-block store
         sha = next(iter(store.samples()))
@@ -113,16 +127,16 @@ class TestPointLookup:
         store.latest_report(sha)
         assert store.cache_stats().blocks_decoded - before == 1
 
-    def test_latest_report_warm_cache_decodes_nothing(self):
-        store = _spread_store()
+    def test_latest_report_warm_cache_decodes_nothing(self, spread_store):
+        store = spread_store
         sha = next(iter(store.samples()))
         store.latest_report(sha)
         before = store.cache_stats().blocks_decoded
         store.latest_report(sha)
         assert store.cache_stats().blocks_decoded == before
 
-    def test_series_decodes_only_the_samples_blocks(self):
-        store = _spread_store()
+    def test_series_decodes_only_the_samples_blocks(self, spread_store):
+        store = spread_store
         sha = next(iter(store.samples()))
         distinct_blocks = {
             (month, block) for month, block, _, _ in store._entries(sha)}
@@ -134,18 +148,18 @@ class TestPointLookup:
         decoded = store.cache_stats().blocks_decoded - before
         assert decoded == len(distinct_blocks)
 
-    def test_latest_report_sees_open_buffer(self):
+    def test_latest_report_sees_open_buffer(self, store_factory):
         """A point lookup on a live store reaches reports still in the
         unsealed buffer (served live, never cached)."""
-        store = ReportStore(block_records=64)
+        store = store_factory(block_records=64)
         sha = make_sha("live")
         store.ingest(make_report(sha=sha, scan_time=10))
         store.ingest(make_report(sha=sha, scan_time=20))
         assert store.latest_report(sha).scan_time == 20
         assert store.cache_stats().open_reads > 0
 
-    def test_unknown_sample_raises(self):
-        store = _spread_store()
+    def test_unknown_sample_raises(self, spread_store):
+        store = spread_store
         with pytest.raises(UnknownSampleError):
             store.latest_report("0" * 64)
         with pytest.raises(UnknownSampleError):
@@ -153,9 +167,9 @@ class TestPointLookup:
 
 
 class TestPersistence:
-    def test_v2_round_trip(self, tmp_path):
-        store = _spread_store()
-        path = tmp_path / "v2.store"
+    def test_indexed_round_trip(self, spread_store, tmp_path):
+        store = spread_store
+        path = tmp_path / "indexed.store"
         store.save(path)
         loaded = ReportStore.load(path)
         assert list(loaded.samples()) == list(store.samples())
@@ -164,9 +178,9 @@ class TestPersistence:
             assert loaded.sample_file_type(sha) == store.sample_file_type(sha)
         assert loaded.digest() == store.digest()
 
-    def test_v2_load_decodes_no_blocks(self, tmp_path):
-        store = _spread_store()
-        path = tmp_path / "v2.store"
+    def test_indexed_load_decodes_no_blocks(self, spread_store, tmp_path):
+        store = spread_store
+        path = tmp_path / "indexed.store"
         store.save(path)
         loaded = ReportStore.load(path)
         # Metadata access and a sample listing must not touch blocks.
@@ -174,8 +188,9 @@ class TestPersistence:
         assert loaded.cache_stats().blocks_decoded == \
             store.cache_stats().blocks_decoded
 
-    def test_v1_file_still_loads_with_lazy_rebuild(self, tmp_path):
-        store = _spread_store()
+    def test_v1_file_still_loads_with_lazy_rebuild(self, spread_store,
+                                                   tmp_path):
+        store = spread_store
         path = tmp_path / "v1.store"
         store.save(path, include_index=False)
         loaded = ReportStore.load(path)
@@ -186,32 +201,35 @@ class TestPersistence:
         for sha in store.samples():
             assert loaded.report_series(sha) == store.report_series(sha)
 
-    def test_v1_header_has_no_index_section(self, tmp_path):
+    def test_v1_header_has_no_index_section(self, spread_store, tmp_path):
         import json
         import struct
 
-        store = _spread_store()
+        store = spread_store
         v1 = tmp_path / "v1.store"
-        v2 = tmp_path / "v2.store"
+        indexed = tmp_path / "indexed.store"
         store.save(v1, include_index=False)
-        store.save(v2)
+        store.save(indexed)
 
         def header_of(path):
             blob = path.read_bytes()
             (hlen,) = struct.unpack_from("<I", blob, 8)
             return json.loads(blob[12:12 + hlen])
 
-        h1, h2 = header_of(v1), header_of(v2)
+        h1, h2 = header_of(v1), header_of(indexed)
         assert h1["version"] == 1 and "index" not in h1
-        assert h2["version"] == 2 and h2["index"]["samples"] == \
+        # A default save carries the layout's native version: row → v2,
+        # columnar → v3 — both with the embedded index.
+        expected = 3 if store.block_format == "columnar" else 2
+        assert h2["version"] == expected and h2["index"]["samples"] == \
             store.sample_count
 
-    def test_corrupt_index_section_rejected(self, tmp_path):
+    def test_corrupt_index_section_rejected(self, spread_store, tmp_path):
         import json
         import struct
 
-        store = _spread_store()
-        path = tmp_path / "v2.store"
+        store = spread_store
+        path = tmp_path / "indexed.store"
         store.save(path)
         blob = bytearray(path.read_bytes())
         (hlen,) = struct.unpack_from("<I", blob, 8)
@@ -223,9 +241,9 @@ class TestPersistence:
         with pytest.raises(CorruptRecordError):
             ReportStore.load(path)
 
-    def test_reopened_v2_store_accepts_new_ingest(self, tmp_path):
-        store = _spread_store()
-        path = tmp_path / "v2.store"
+    def test_reopened_store_accepts_new_ingest(self, spread_store, tmp_path):
+        store = spread_store
+        path = tmp_path / "indexed.store"
         store.save(path)
         reopened = ReportStore.load(path, reopen=True)
         sha = next(iter(reopened.samples()))
@@ -235,8 +253,8 @@ class TestPersistence:
 
 
 class TestQueryRouting:
-    def test_samples_only_routes_through_index(self):
-        store = _spread_store()
+    def test_samples_only_routes_through_index(self, spread_store):
+        store = spread_store
         shas = list(store.samples())[:2]
         store.drop_caches()
         before = store.cache_stats().blocks_decoded
@@ -248,42 +266,42 @@ class TestQueryRouting:
         for sha in shas:
             assert result[sha] == store.report_series(sha)
 
-    def test_samples_only_matches_full_scan(self):
-        store = _spread_store()
+    def test_samples_only_matches_full_scan(self, spread_store):
+        store = spread_store
         sha = list(store.samples())[3]
         restricted = list(ReportQuery(store).samples_only(sha))
         full = [r for r in ReportQuery(store) if r.sha256 == sha]
         assert sorted(r.scan_time for r in restricted) == \
             sorted(r.scan_time for r in full)
 
-    def test_samples_only_preserves_request_order(self):
-        store = _spread_store()
+    def test_samples_only_preserves_request_order(self, spread_store):
+        store = spread_store
         shas = list(store.samples())
         wanted = [shas[5], shas[1], shas[5], shas[3]]
         got = [sha for sha, _
                in ReportQuery(store).samples_only(*wanted).sample_series()]
         assert got == [shas[5], shas[1], shas[3]]  # dedup, order kept
 
-    def test_unknown_hash_matches_nothing(self):
-        store = _spread_store()
+    def test_unknown_hash_matches_nothing(self, spread_store):
+        store = spread_store
         q = ReportQuery(store).samples_only("0" * 64)
         assert list(q) == []
         assert q.count() == 0
 
-    def test_restriction_intersects(self):
-        store = _spread_store()
+    def test_restriction_intersects(self, spread_store):
+        store = spread_store
         shas = list(store.samples())
         q = ReportQuery(store).samples_only(*shas[:4])
         narrowed = q.samples_only(shas[2], shas[9])
         assert [s for s, _ in narrowed.sample_series()] == [shas[2]]
 
-    def test_empty_restriction_rejected(self):
-        store = _spread_store()
+    def test_empty_restriction_rejected(self, spread_store):
+        store = spread_store
         with pytest.raises(ConfigError):
             ReportQuery(store).samples_only()
 
-    def test_predicates_still_apply(self):
-        store = _spread_store()
+    def test_predicates_still_apply(self, spread_store):
+        store = spread_store
         sha = next(iter(store.samples()))
         series = store.report_series(sha)
         cutoff = series[-1].scan_time
