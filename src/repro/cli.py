@@ -41,7 +41,7 @@ import sys
 import time
 
 from repro.analysis import dataset as dataset_mod
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, LintError, ReproError
 from repro.analysis import dynamics as dynamics_mod
 from repro.analysis import engines as engines_mod
 from repro.analysis import rendering, stabilization as stab_mod
@@ -198,7 +198,22 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--output", default=None, metavar="PATH",
                       help="also write the report to this file")
     lint.add_argument("--explain", action="store_true",
-                      help="list every rule code with its summary and exit")
+                      help="with --paths: include whole-program evidence "
+                           "(call chains) per finding; alone: list every "
+                           "rule code with its summary and exit")
+    lint.add_argument("--cache", default=None, metavar="PATH",
+                      help="incremental cache file: warm runs re-analyze "
+                           "only files whose content hash changed")
+    lint.add_argument("--changed", action="store_true",
+                      help="with --cache: report only findings in changed "
+                           "files plus their reverse-import cone")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="subtract accepted findings from this baseline "
+                           "file; stale entries (fixed findings) are "
+                           "reported and fail the run (shrink-only ratchet)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="with --baseline: snapshot the current findings "
+                           "as the new baseline instead of checking")
     sub.add_parser("all", help="every table and figure")
     sub.add_parser("calibrate", help="grade headline stats vs the paper")
     report = sub.add_parser("report", help="write a full markdown report")
@@ -222,7 +237,11 @@ def _data(args: argparse.Namespace, metrics=None) -> ExperimentData:
         if metrics is not None:
             # No run happened: the registry carries only the loaded
             # store's accounting gauges (plus any later cache traffic).
-            store.publish_metrics()
+            try:
+                store.publish_metrics()
+            except BaseException:
+                store.close()
+                raise
         return ExperimentData(
             config=_config(args),
             fleet=default_fleet(args.seed),
@@ -386,30 +405,53 @@ def _write_metrics(registry, path: str) -> None:
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintConfig,
+        apply_baseline,
         default_target,
         lint_paths,
+        lint_paths_cached,
         parse_select,
+        read_baseline,
         render_json,
         render_rules,
         render_text,
+        write_baseline,
     )
 
-    if args.explain:
+    # Bare --explain keeps its original meaning (the rule table); with
+    # explicit --paths it switches the findings report to evidence mode.
+    if args.explain and not args.paths:
         print(render_rules(), end="")
         return 0
+    if args.changed and not args.cache:
+        raise LintError("--changed requires --cache (the cache is how "
+                        "changed files are detected)")
+    if args.write_baseline and not args.baseline:
+        raise LintError("--write-baseline requires --baseline PATH")
     select = parse_select(args.select) if args.select else None
     config = LintConfig(select=select)
     targets = args.paths if args.paths else [default_target()]
-    result = lint_paths(targets, config=config)
+    if args.cache:
+        result = lint_paths_cached(targets, args.cache, config=config,
+                                   changed_only=args.changed)
+    else:
+        result = lint_paths(targets, config=config)
+    if args.baseline:
+        if args.write_baseline:
+            write_baseline(result, args.baseline)
+            print(f"[wrote {len(result.findings)} baseline entries to "
+                  f"{args.baseline}]", file=sys.stderr)
+            return 0
+        result = apply_baseline(result, read_baseline(args.baseline))
     text = (render_json(result) if args.format == "json"
-            else render_text(result))
+            else render_text(result, explain=args.explain))
     print(text, end="")
     if args.output:
         from pathlib import Path
 
         Path(args.output).write_text(text, encoding="utf-8")
         print(f"[wrote lint report to {args.output}]", file=sys.stderr)
-    return 0 if result.ok else 1
+    ok = result.ok and not result.baseline_stale
+    return 0 if ok else 1
 
 
 def cmd_serve(args: argparse.Namespace, metrics=None) -> int:
@@ -418,31 +460,35 @@ def cmd_serve(args: argparse.Namespace, metrics=None) -> int:
 
     store = ReportStore.load(args.store_path, metrics=metrics,
                              use_mmap=args.mmap)
-    tenants = TenantRegistry()
-    specs = args.api_key or ["demo-free:free", "demo-premium:premium"]
-    for spec in specs:
-        tenants.add_spec(spec)
-    archive = None
-    if not args.no_feed:
-        archive = FeedArchive.from_store(
-            store, retention_minutes=args.feed_retention)
-    server = ReportServer(store, tenants, archive,
-                          host=args.host, port=args.port, metrics=metrics)
-    host, port = server.address
-    print(f"serving {store.report_count:,} reports "
-          f"({store.sample_count:,} samples) from {args.store_path} "
-          f"at http://{host}:{port}")
-    if archive is not None:
-        print(f"feed archive: minutes {archive.oldest_available}"
-              f"..{archive.horizon} ({archive.minutes_retained():,} retained)")
-    for tenant in tenants.tenants():
-        print(f"  api key {tenant.key}  tier={tenant.tier.name}")
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
+        tenants = TenantRegistry()
+        specs = args.api_key or ["demo-free:free", "demo-premium:premium"]
+        for spec in specs:
+            tenants.add_spec(spec)
+        archive = None
+        if not args.no_feed:
+            archive = FeedArchive.from_store(
+                store, retention_minutes=args.feed_retention)
+        server = ReportServer(store, tenants, archive,
+                              host=args.host, port=args.port, metrics=metrics)
+        host, port = server.address
+        print(f"serving {store.report_count:,} reports "
+              f"({store.sample_count:,} samples) from {args.store_path} "
+              f"at http://{host}:{port}")
+        if archive is not None:
+            print(f"feed archive: minutes {archive.oldest_available}"
+                  f"..{archive.horizon} "
+                  f"({archive.minutes_retained():,} retained)")
+        for tenant in tenants.tenants():
+            print(f"  api key {tenant.key}  tier={tenant.tier.name}")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            server.shutdown()
     finally:
-        server.shutdown()
+        store.close()
     return 0
 
 

@@ -153,69 +153,76 @@ def run_collection(
         store = ReportStore(metrics=metrics, **store_kwargs)
     client = VTClient(service, premium=True, archive=archive)
 
-    cfeed, cstore, cclient = chaos_wrap(feed, store, client, plan,
-                                        metrics=metrics)
-    collector = FeedCollector(
-        cfeed,
-        cstore,
-        cclient,
-        checkpoint_path=paths.checkpoint if paths else None,
-        store_path=paths.store if paths else None,
-        deadletter_path=paths.deadletters if paths else None,
-        backoff=backoff,
-        persist_every=persist_every if paths else None,
-        seed=config.seed,
-        metrics=metrics,
-    )
-
-    # Same deterministic population + event schedule as run_experiment.
-    generator = PopulationGenerator(config)
-    # Register clones: the service applies the pre-window submission
-    # backfill at registration time, and the generator's spec objects
-    # stay pristine for any later re-run from the same specs.
-    samples: list = []
-    events: list[tuple[int, int, int]] = []
-    for sample_idx, spec in enumerate(generator):
-        sample = spec.sample.clone()
-        service.register(sample)
-        samples.append(sample)
-        for ordinal, when in enumerate(spec.scan_times):
-            events.append((when, sample_idx, ordinal))
-    events.sort()
-
-    end = (events[-1][0] + 1) if events else 0
-    if until_minute is not None:
-        end = min(end, until_minute)
-    start = resume_from if resume_from is not None else 0
-
-    crashed = False
-    archive.attach()
     try:
-        idx = 0
-        n_events = len(events)
-        for minute in range(end):
-            if minute == start:
-                # The collector's live subscription begins here; earlier
-                # minutes are re-executed server-side only (resume path).
-                feed.attach()
-            while idx < n_events and events[idx][0] == minute:
-                _, sample_idx, ordinal = events[idx]
-                sample = samples[sample_idx]
-                if ordinal == 0 and sample.fresh:
-                    service.upload(sample, minute)
-                else:
-                    service.rescan(sample.sha256, minute)
-                idx += 1
-            if minute >= start:
-                collector.step(minute)
-                if stop_at is not None and minute >= stop_at:
-                    crashed = True  # simulated crash: no finalize/flush
-                    break
-        if not crashed:
-            collector.finalize()
-    finally:
-        feed.detach()
-        archive.detach()
+        cfeed, cstore, cclient = chaos_wrap(feed, store, client, plan,
+                                            metrics=metrics)
+        collector = FeedCollector(
+            cfeed,
+            cstore,
+            cclient,
+            checkpoint_path=paths.checkpoint if paths else None,
+            store_path=paths.store if paths else None,
+            deadletter_path=paths.deadletters if paths else None,
+            backoff=backoff,
+            persist_every=persist_every if paths else None,
+            seed=config.seed,
+            metrics=metrics,
+        )
+
+        # Same deterministic population + event schedule as run_experiment.
+        generator = PopulationGenerator(config)
+        # Register clones: the service applies the pre-window submission
+        # backfill at registration time, and the generator's spec objects
+        # stay pristine for any later re-run from the same specs.
+        samples: list = []
+        events: list[tuple[int, int, int]] = []
+        for sample_idx, spec in enumerate(generator):
+            sample = spec.sample.clone()
+            service.register(sample)
+            samples.append(sample)
+            for ordinal, when in enumerate(spec.scan_times):
+                events.append((when, sample_idx, ordinal))
+        events.sort()
+
+        end = (events[-1][0] + 1) if events else 0
+        if until_minute is not None:
+            end = min(end, until_minute)
+        start = resume_from if resume_from is not None else 0
+
+        crashed = False
+        archive.attach()
+        try:
+            idx = 0
+            n_events = len(events)
+            for minute in range(end):
+                if minute == start:
+                    # The collector's live subscription begins here; earlier
+                    # minutes are re-executed server-side only (resume path).
+                    feed.attach()
+                while idx < n_events and events[idx][0] == minute:
+                    _, sample_idx, ordinal = events[idx]
+                    sample = samples[sample_idx]
+                    if ordinal == 0 and sample.fresh:
+                        service.upload(sample, minute)
+                    else:
+                        service.rescan(sample.sha256, minute)
+                    idx += 1
+                if minute >= start:
+                    collector.step(minute)
+                    if stop_at is not None and minute >= stop_at:
+                        crashed = True  # simulated crash: no finalize/flush
+                        break
+            if not crashed:
+                collector.finalize()
+        finally:
+            feed.detach()
+            archive.detach()
+    except BaseException:
+        # A simulated crash (stop_at) exits normally via `crashed`;
+        # a real exception abandons the run, so release the store
+        # (resume-loaded or fresh) before propagating.
+        store.close()
+        raise
 
     return CollectionResult(
         config=config,

@@ -142,6 +142,20 @@ class UnknownSampleError(StoreError, KeyError):
         self.sha256 = sha256
 
 
+class BlockAddressError(StoreError, IndexError):
+    """A ``(block, slot)`` address points past the shard's records.
+
+    Dual-inherits :class:`IndexError` (like :class:`UnknownSampleError`
+    does :class:`KeyError`) so positional-access callers keep their
+    idiomatic ``except IndexError`` while the API boundary exports a
+    :class:`ReproError` — the exception contract reprolint's RPL104
+    enforces over the store surface.
+    """
+
+    def __init__(self, detail: str) -> None:
+        StoreError.__init__(self, detail)
+
+
 class ShardClosedError(StoreError):
     """An ingest was attempted on a store that was already finalised."""
 

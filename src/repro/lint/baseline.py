@@ -1,0 +1,100 @@
+"""Finding baselines: land new rules now, ratchet old findings down.
+
+A baseline file enumerates *accepted* findings — debt acknowledged when
+a new rule landed — keyed by ``(path, code, message)`` so a finding
+survives unrelated line drift but not a real change to what is wrong.
+``repro-vt lint --baseline FILE`` subtracts the baseline from the
+active findings (they are reported separately, not hidden from the
+accounting) and reports every baseline entry that matched nothing as
+*stale*: the finding was fixed, so its baseline line must be deleted.
+CI fails on stale entries, which is the shrink-only ratchet — a
+baseline can lose lines over time but never quietly gain meaning.
+
+The repo ships an empty baseline (``lint-baseline.json``): the
+selfcheck holds the tree at zero undisabled findings, and the empty
+file is the proof plus the place a future rule's debt would land.
+
+Format: the usual schema-line-plus-sorted-compact-rows layout, byte
+deterministic like every other artifact in this repo.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import LintError
+from repro.lint.engine import LintResult
+
+#: Baseline file schema identifier, bumped on incompatible changes.
+BASELINE_SCHEMA = "reprolint-baseline/1"
+
+#: One accepted finding: (path, code, message).
+BaselineKey = tuple[str, str, str]
+
+
+def read_baseline(path: str | Path) -> list[BaselineKey]:
+    """Load baseline entries; a missing file is an error (pass the
+    shipped empty baseline explicitly, never a typo'd path)."""
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    if not lines:
+        raise LintError(f"baseline {path} is empty (no schema line)")
+    try:
+        head = json.loads(lines[0])
+    except ValueError as exc:
+        raise LintError(f"baseline {path} is not JSON: {exc}") from exc
+    if head.get("schema") != BASELINE_SCHEMA:
+        raise LintError(
+            f"baseline {path} has schema {head.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA!r}")
+    entries: list[BaselineKey] = []
+    for line in lines[1:]:
+        try:
+            doc = json.loads(line)
+            entries.append((doc["path"], doc["code"], doc["message"]))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise LintError(
+                f"baseline {path} has a malformed entry: {exc}") from exc
+    return entries
+
+
+def write_baseline(result: LintResult, path: str | Path) -> Path:
+    """Snapshot the active findings as the new accepted baseline."""
+    path = Path(path)
+    keys = sorted({(f.path, f.code, f.message) for f in result.findings})
+    head = {"schema": BASELINE_SCHEMA, "entries": len(keys)}
+    lines = [json.dumps(head, sort_keys=True, separators=(",", ":"))]
+    for key_path, code, message in keys:
+        lines.append(json.dumps(
+            {"path": key_path, "code": code, "message": message},
+            sort_keys=True, separators=(",", ":")))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def apply_baseline(result: LintResult,
+                   entries: list[BaselineKey]) -> LintResult:
+    """Subtract accepted findings; record what the baseline still owes.
+
+    Mutates and returns ``result``: matched findings move to
+    ``result.baselined``; entries matching nothing land in
+    ``result.baseline_stale`` (sorted) for the shrink-only check.
+    """
+    accepted = set(entries)
+    kept = []
+    matched: set[BaselineKey] = set()
+    for finding in result.findings:
+        key = (finding.path, finding.code, finding.message)
+        if key in accepted:
+            matched.add(key)
+            result.baselined.append(finding)
+        else:
+            kept.append(finding)
+    result.findings = kept
+    result.baselined.sort()
+    result.baseline_stale = sorted(set(entries) - matched)
+    return result

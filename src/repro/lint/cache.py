@@ -1,0 +1,155 @@
+"""The incremental lint cache: content-hash-keyed per-file results.
+
+Whole-program analysis is too slow to rerun from scratch on every CI
+matrix entry, but its expensive half is embarrassingly per-file: parse,
+local rules, fact extraction.  The cache persists each file's
+:class:`~repro.lint.engine.FileAnalysis` keyed by the source's sha256;
+a warm run re-analyzes only files whose bytes changed and replays the
+cheap whole-program pass (RPL005 kind table, RPL101/RPL103 call-graph
+walks) over the mixed cached/fresh summaries — so cross-file findings
+are always computed against the *current* import graph and can never be
+served stale, which is the import-graph-invalidation half of the
+design: facts are per-file, conclusions are per-program.
+
+The cache file is deterministic: one schema/fingerprint header line
+plus one compact key-sorted JSON line per file in path order (the same
+house style as the metric exports and the lint report itself).  The
+fingerprint covers the engine version, the Python minor version (AST
+shapes differ) and the rule selection; any mismatch — or any parse
+error — degrades to a cold run, never to wrong results.
+
+``--changed`` mode additionally narrows the *reported* findings to the
+changed files plus their reverse-import cone (everything whose analysis
+a change could affect), which is the review-friendly view: "what did my
+edit break", not "what is broken".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.callgraph import dependency_cone
+from repro.lint.config import LintConfig, normalize_path
+from repro.lint.engine import (
+    ENGINE_VERSION,
+    FileAnalysis,
+    LintResult,
+    analyze_module,
+    discover_files,
+    finish_program,
+    read_source,
+)
+
+#: Cache file schema identifier, bumped on incompatible changes.
+CACHE_SCHEMA = "reprolint-cache/1"
+
+
+def _fingerprint(config: LintConfig) -> str:
+    """What must match for cached per-file analyses to be reusable."""
+    select = sorted(config.select) if config.select is not None else None
+    doc = {
+        "engine": ENGINE_VERSION,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "select": select,
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class CacheFile:
+    """In-memory view of one cache file: path → (sha256, analysis doc)."""
+
+    fingerprint: str
+    entries: dict[str, tuple[str, dict]]
+
+    @classmethod
+    def load(cls, path: Path, config: LintConfig) -> "CacheFile":
+        """Read a cache file; any mismatch or damage yields an empty
+        (cold) cache rather than an error — the cache is an
+        accelerator, never a correctness input."""
+        fingerprint = _fingerprint(config)
+        empty = cls(fingerprint=fingerprint, entries={})
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return empty
+        if not lines:
+            return empty
+        try:
+            head = json.loads(lines[0])
+            if head.get("schema") != CACHE_SCHEMA:
+                return empty
+            if head.get("fingerprint") != fingerprint:
+                return empty
+            entries: dict[str, tuple[str, dict]] = {}
+            for line in lines[1:]:
+                doc = json.loads(line)
+                entries[doc["path"]] = (doc["sha256"], doc["analysis"])
+        except (ValueError, KeyError, TypeError):
+            return empty
+        return cls(fingerprint=fingerprint, entries=entries)
+
+    def save(self, path: Path,
+             analyses: dict[str, tuple[str, FileAnalysis]]) -> None:
+        """Write the cache deterministically (header + path-sorted rows)."""
+        head = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "files": len(analyses),
+        }
+        lines = [json.dumps(head, sort_keys=True, separators=(",", ":"))]
+        for display in sorted(analyses):
+            sha, analysis = analyses[display]
+            lines.append(json.dumps(
+                {"path": display, "sha256": sha,
+                 "analysis": analysis.to_doc()},
+                sort_keys=True, separators=(",", ":")))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def lint_paths_cached(paths, cache_path: str | Path,
+                      config: LintConfig | None = None,
+                      changed_only: bool = False) -> LintResult:
+    """:func:`repro.lint.engine.lint_paths` with the per-file cache.
+
+    Returns the same :class:`LintResult`, with ``files_reanalyzed``
+    reporting how many files missed the cache.  With ``changed_only``
+    the reported findings are narrowed to the changed files plus their
+    reverse-import cone (``files_checked`` still counts everything —
+    the whole-program pass always runs over the full tree).
+    """
+    config = config if config is not None else LintConfig()
+    cache_path = Path(cache_path)
+    prior = CacheFile.load(cache_path, config)
+
+    fresh: dict[str, tuple[str, FileAnalysis]] = {}
+    analyses: list[FileAnalysis] = []
+    changed: set[str] = set()
+    for file_path in discover_files(paths):
+        source = read_source(file_path)
+        display = normalize_path(str(file_path))
+        sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        hit = prior.entries.get(display)
+        if hit is not None and hit[0] == sha:
+            analysis = FileAnalysis.from_doc(hit[1])
+        else:
+            analysis = analyze_module(str(file_path), source, config)
+            changed.add(display)
+        fresh[display] = (sha, analysis)
+        analyses.append(analysis)
+
+    result = finish_program(analyses, config)
+    result.files_reanalyzed = len(changed)
+    prior.save(cache_path, fresh)
+
+    if changed_only:
+        cone = dependency_cone([a.summary for a in analyses], changed)
+        result.findings = [f for f in result.findings if f.path in cone]
+        result.suppressed = [f for f in result.suppressed
+                             if f.path in cone]
+    return result

@@ -24,7 +24,7 @@ from repro.errors import LintError
 #: the pragma-hygiene rule (unknown code in a pragma) and is never
 #: disableable or path-scoped.
 RULE_SUMMARIES: dict[str, str] = {
-    "RPL000": "malformed reprolint pragma (unknown or missing rule code)",
+    "RPL000": "malformed reprolint pragma (unknown code or missing '- why')",
     "RPL001": "wall-clock read outside the injectable clock modules",
     "RPL002": "global or unseeded randomness instead of keyed per-sample RNG",
     "RPL003": "entropy source (uuid4, os.urandom, secrets) on the sim path",
@@ -32,9 +32,23 @@ RULE_SUMMARIES: dict[str, str] = {
     "RPL005": "metric-name discipline (literal, grammar, one kind per name)",
     "RPL006": "bare or swallowed exception handler in collect/faults",
     "RPL007": "multiprocessing pool/process built outside the executors",
+    "RPL101": "attribute write reachable from a handler thread outside the "
+              "owning lock's with block",
+    "RPL102": "file/socket/mmap/store acquired but not closed on all paths",
+    "RPL103": "wall-clock/env/entropy call reachable from the digest path",
+    "RPL104": "non-ReproError (struct.error/IndexError/zlib.error) can "
+              "escape a store/serve module boundary",
+    "RPL105": "unbounded value (sha256, path, f-string) as a metric label",
 }
 
 ALL_CODES: frozenset[str] = frozenset(RULE_SUMMARIES)
+
+#: The flow-rule family (:mod:`repro.lint.flowrules`).  RPL101/RPL103
+#: are whole-program passes over the project call graph; RPL102/104/105
+#: are per-file but share the same fact extractor, so all five live
+#: outside the per-file ``RULE_CLASSES`` registry.
+FLOW_CODES: frozenset[str] = frozenset(
+    {"RPL101", "RPL102", "RPL103", "RPL104", "RPL105"})
 
 
 def normalize_path(path: str) -> str:
@@ -106,7 +120,113 @@ DEFAULT_POLICIES: dict[str, PathPolicy] = {
     # (fork/spawn pools, reaping, respawn); everything else routes
     # fan-out through run_parallel().
     "RPL007": PathPolicy(exclude=("repro/parallel/executors/",)),
+    # Lock discipline is asserted where the shared objects live: the
+    # serving layer (handler threads) and the executor layer (worker
+    # callbacks).  The heartbeat emitter is thread-confined by
+    # construction — one emitter per worker, never shared — so it is a
+    # structural carve-out rather than a pragma.
+    "RPL101": PathPolicy(include=("repro/serve/", "repro/parallel/"),
+                         exclude=("repro/parallel/heartbeat.py",)),
+    "RPL102": PathPolicy(),
+    # Digest purity stops at the sanctioned wall-clock owners (the same
+    # carve-outs as RPL001): reaching one of those modules is fine, the
+    # taint walk just does not descend into them.
+    "RPL103": PathPolicy(exclude=("repro/vt/clock.py", "repro/obs/timing.py",
+                                  "repro/serve/ratelimit.py",
+                                  "repro/parallel/heartbeat.py")),
+    # The exception contract binds the decode/serve surfaces, where a
+    # raw struct.error/IndexError crossing the module boundary is PR
+    # 6/8's corruption-surface bug class.
+    "RPL104": PathPolicy(include=("repro/store/", "repro/serve/")),
+    "RPL105": PathPolicy(exclude=("repro/obs/registry.py",
+                                  "repro/obs/timing.py",
+                                  "repro/obs/export.py")),
 }
+
+# ---------------------------------------------------------------------------
+# Flow-analysis roots and carve-outs (consumed by repro.lint.flowrules)
+# ---------------------------------------------------------------------------
+
+#: RPL103 taint roots: the functions whose transitive callees define the
+#: digest path.  Qualnames are module-qualified (``package.module.Class.
+#: method``); every function reachable from one of these must be free of
+#: wall-clock/env/entropy calls.
+DIGEST_ROOTS: tuple[str, ...] = (
+    "repro.store.reportstore.ReportStore.ingest",
+    "repro.store.reportstore.ReportStore.ingest_arrays",
+    "repro.store.reportstore.ReportStore.save",
+    "repro.store.reportstore.ReportStore.digest",
+    "repro.parallel.worker.execute_range",
+)
+
+#: RPL101 thread roots: ``(path prefix, function-name glob)`` pairs
+#: naming the entry points that run on handler/worker threads.  Writes
+#: reachable from these without an interposed ``with <lock>`` block are
+#: findings.
+THREAD_ROOTS: tuple[tuple[str, str], ...] = (
+    ("repro/serve/", "do_*"),
+    ("repro/serve/", "handle_request"),
+    ("repro/parallel/", "execute_task"),
+    ("repro/parallel/", "_worker_main"),
+)
+
+#: RPL101 thread-confined attribute carve-outs: ``self.<attr>`` writes
+#: that are safe without a lock because the owning object never crosses
+#: threads.  ``http.server`` hands each request a fresh handler
+#: instance on its own thread, so the per-request response plumbing is
+#: confined by construction.
+THREAD_CONFINED_ATTRS: frozenset[str] = frozenset({
+    "close_connection",  # per-request BaseHTTPRequestHandler instance
+})
+
+#: RPL102 resource acquirers: a call resolving to one of these hands
+#: back something that must be closed on every path.  Dotted entries
+#: match import-resolved qualnames; a trailing ``()`` suffix entry like
+#: ``ReportStore.load`` matches any receiver's method of that name.
+RESOURCE_ACQUIRERS: frozenset[str] = frozenset({
+    "open",
+    "io.open",
+    "gzip.open",
+    "bz2.open",
+    "lzma.open",
+    "mmap.mmap",
+    "socket.socket",
+    "socket.create_connection",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryFile",
+    "ReportStore.load",
+})
+
+#: RPL104 exception types that must not escape a store/serve module
+#: boundary raw — wrap them in a :class:`repro.errors.ReproError`
+#: subclass (``CorruptRecordError``, ``BlockAddressError``, ...).
+#: ``KeyError``/``IndexError`` are builtins; the rest are dotted.
+CONTRACT_BANNED_RAISES: frozenset[str] = frozenset({
+    "struct.error", "zlib.error", "IndexError", "KeyError",
+})
+
+#: RPL104 decoder calls that raise non-ReproError on truncated or
+#: corrupt input and therefore must sit inside a ``try`` whose handler
+#: catches the matching family.  ``Struct.unpack`` covers module-level
+#: ``_HEADER = struct.Struct(...)`` constants via the resolver; the
+#: ``unpack_from`` forms are deliberately absent — their callers bounds-
+#: check offsets first, and whole-buffer ``unpack``/``loads`` is where
+#: truncation actually surfaces.
+CONTRACT_DECODERS: dict[str, tuple[str, ...]] = {
+    "struct.unpack": ("struct.error", "Exception"),
+    "struct.Struct.unpack": ("struct.error", "Exception"),
+    "zlib.decompress": ("zlib.error", "Exception"),
+    "json.loads": ("json.JSONDecodeError", "ValueError", "Exception"),
+}
+
+#: RPL105 identifier fragments that mark a metric-label value as
+#: unbounded (content hashes, per-minute keys, filesystem paths...).
+#: Matched against each ``_``-separated segment of every identifier in
+#: the label-value expression.
+UNBOUNDED_LABEL_FRAGMENTS: frozenset[str] = frozenset({
+    "sha", "sha256", "digest", "hexdigest", "hash", "minute", "uuid",
+    "url", "path",
+})
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,17 @@ the result is globally sorted by ``(path, line, col, code)`` — so two
 runs over the same tree produce byte-identical reports, which
 ``tests/test_lint_selfcheck.py`` asserts the same way the store-digest
 gate asserts serial/parallel equality.
+
+Since reprolint v2 the engine is split along the cache boundary:
+
+* :func:`analyze_module` is the expensive per-file half — parse, the
+  per-file rules (RPL001–007 plus the local flow rules RPL102/104/105),
+  and call-graph fact extraction.  Its :class:`FileAnalysis` output is
+  plain data, keyed by content hash in :mod:`repro.lint.cache`.
+* :func:`finish_program` is the cheap whole-program half — the RPL005
+  kind table and the RPL101/RPL103 call-graph passes — recomputed from
+  the (possibly cached) summaries on every run, so cross-file findings
+  can never be served stale.
 """
 
 from __future__ import annotations
@@ -17,21 +28,37 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.errors import LintError
+from repro.lint.callgraph import CallGraph, FileSummary, extract_summary
 from repro.lint.config import ALL_CODES, LintConfig, normalize_path
+from repro.lint.flowrules import FLOW_LOCAL_RULES, program_findings
 from repro.lint.pragmas import Pragmas, collect_pragmas
 from repro.lint.resolve import ImportMap
-from repro.lint.rules import RULE_CLASSES, Rule
+from repro.lint.rules import (
+    RULE_CLASSES,
+    MetricRule,
+    Rule,
+    metric_kind_conflicts,
+)
+
+#: Bumped whenever rule semantics or the analysis schema change; the
+#: incremental cache treats a mismatch as fully cold.
+ENGINE_VERSION = 2
 
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``detail`` carries the whole-program evidence (the call chain for
+    RPL101/RPL103); it is empty for single-site findings.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    detail: str = ""
 
 
 @dataclass
@@ -54,6 +81,15 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: Files whose per-file analysis actually ran this invocation (on a
+    #: cacheless run this equals ``files_checked``; a warm cache run
+    #: re-analyzes only changed files).
+    files_reanalyzed: int = 0
+    #: Findings ratcheted away by ``--baseline``.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing — fixed findings whose
+    #: baseline line must now be deleted (the shrink-only ratchet).
+    baseline_stale: list[tuple[str, str, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -83,6 +119,65 @@ def _parse_module(path: str, source: str) -> ModuleInfo:
                       pragmas=pragmas, scopes=scopes)
 
 
+@dataclass
+class FileAnalysis:
+    """The cacheable product of analyzing one file.
+
+    Local findings are final (already routed through pragmas and the
+    path policy); the summary and the suppression tables feed the
+    whole-program pass, whose findings are routed per run.
+    """
+
+    path: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    summary: FileSummary = None
+    file_pragmas: list[str] = field(default_factory=list)
+    line_pragmas: dict[int, list[str]] = field(default_factory=dict)
+    scopes: list[tuple[int, int, list[str]]] = field(default_factory=list)
+
+    def disabled(self, code: str, line: int) -> bool:
+        if code in self.file_pragmas:
+            return True
+        if code in self.line_pragmas.get(line, ()):
+            return True
+        return any(start <= line <= end and code in codes
+                   for start, end, codes in self.scopes)
+
+    def to_doc(self) -> dict:
+        def finding_doc(f: Finding) -> list:
+            return [f.line, f.col, f.code, f.message, f.detail]
+
+        return {
+            "path": self.path,
+            "findings": [finding_doc(f) for f in self.findings],
+            "suppressed": [finding_doc(f) for f in self.suppressed],
+            "summary": self.summary.to_doc(),
+            "file_pragmas": sorted(self.file_pragmas),
+            "line_pragmas": {str(line): sorted(codes) for line, codes
+                             in sorted(self.line_pragmas.items())},
+            "scopes": [[s, e, sorted(codes)] for s, e, codes in self.scopes],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "FileAnalysis":
+        path = doc["path"]
+
+        def finding(raw: list) -> Finding:
+            return Finding(path, raw[0], raw[1], raw[2], raw[3], raw[4])
+
+        return cls(
+            path=path,
+            findings=[finding(raw) for raw in doc["findings"]],
+            suppressed=[finding(raw) for raw in doc["suppressed"]],
+            summary=FileSummary.from_doc(doc["summary"]),
+            file_pragmas=list(doc["file_pragmas"]),
+            line_pragmas={int(line): list(codes) for line, codes
+                          in doc["line_pragmas"].items()},
+            scopes=[(s, e, list(codes)) for s, e, codes in doc["scopes"]],
+        )
+
+
 def _is_disabled(module: ModuleInfo, code: str, line: int) -> bool:
     if code in module.pragmas.file_level:
         return True
@@ -92,53 +187,97 @@ def _is_disabled(module: ModuleInfo, code: str, line: int) -> bool:
                for start, end, codes in module.scopes)
 
 
-def _route(result: LintResult, module: ModuleInfo, config: LintConfig,
-           code: str, raw: tuple[int, int, str]) -> None:
+def _route(analysis: FileAnalysis, module: ModuleInfo, code: str,
+           raw: tuple[int, int, str]) -> None:
     """File one raw finding as active or pragma-suppressed."""
     line, col, message = raw
-    finding = Finding(module.path, line, col, code, message)
+    finding = Finding(analysis.path, line, col, code, message)
     # RPL000 (pragma hygiene) cannot itself be pragma'd away — a broken
     # pragma must never silence the report that it is broken.
     if code != "RPL000" and _is_disabled(module, code, line):
-        result.suppressed.append(finding)
+        analysis.suppressed.append(finding)
     else:
-        result.findings.append(finding)
+        analysis.findings.append(finding)
+
+
+def analyze_module(path: str, source: str,
+                   config: LintConfig | None = None) -> FileAnalysis:
+    """The per-file half: parse, local rules, fact extraction."""
+    config = config if config is not None else LintConfig()
+    display = normalize_path(path)
+    module = _parse_module(display, source)
+    analysis = FileAnalysis(path=display)
+    analysis.summary = extract_summary(module)
+    analysis.file_pragmas = sorted(module.pragmas.file_level)
+    analysis.line_pragmas = {line: sorted(codes) for line, codes
+                             in module.pragmas.by_line.items()}
+    analysis.scopes = [(s, e, sorted(codes))
+                       for s, e, codes in module.scopes]
+
+    # Pragma hygiene (RPL000) applies everywhere, always.
+    for bad in module.pragmas.bad:
+        _route(analysis, module, "RPL000", (bad.line, bad.col, bad.message))
+    rules: list[Rule] = [cls() for cls in (*RULE_CLASSES, *FLOW_LOCAL_RULES)]
+    for rule in rules:
+        if not config.rule_applies(rule.code, display):
+            continue
+        for raw in rule.check(module):
+            _route(analysis, module, rule.code, raw)
+        if isinstance(rule, MetricRule):
+            analysis.summary.metric_sites = [
+                (s.line, s.col, s.name, s.kind) for s in rule._sites]
+    analysis.findings.sort()
+    analysis.suppressed.sort()
+    return analysis
+
+
+def finish_program(analyses: Sequence[FileAnalysis],
+                   config: LintConfig | None = None) -> LintResult:
+    """The whole-program half: kind table plus call-graph passes."""
+    config = config if config is not None else LintConfig()
+    result = LintResult(files_checked=len(analyses),
+                        files_reanalyzed=len(analyses))
+    by_path = {a.path: a for a in analyses}
+    for analysis in analyses:
+        result.findings.extend(analysis.findings)
+        result.suppressed.extend(analysis.suppressed)
+
+    def route_program(path: str, line: int, col: int, code: str,
+                      message: str, detail: str = "") -> None:
+        analysis = by_path.get(path)
+        if analysis is None or not config.rule_applies(code, path):
+            return
+        finding = Finding(path, line, col, code, message, detail)
+        if analysis.disabled(code, line):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+
+    # RPL005's whole-program kind table, rebuilt from (cached) sites.
+    sites = [(a.path, line, col, name, kind)
+             for a in sorted(analyses, key=lambda a: a.path)
+             for line, col, name, kind in a.summary.metric_sites]
+    for path, (line, col, message) in metric_kind_conflicts(sites):
+        route_program(path, line, col, "RPL005", message)
+
+    # RPL101/RPL103 over the project call graph.
+    graph = CallGraph([a.summary for a in analyses])
+    for path, line, col, code, message, detail in program_findings(
+            graph, config):
+        route_program(path, line, col, code, message, detail)
+
+    result.findings = sorted(set(result.findings))
+    result.suppressed = sorted(set(result.suppressed))
+    return result
 
 
 def lint_modules(modules: Iterable[tuple[str, str]],
                  config: LintConfig | None = None) -> LintResult:
     """Lint ``(path, source)`` pairs; the core everything else wraps."""
     config = config if config is not None else LintConfig()
-    rules: list[Rule] = [cls() for cls in RULE_CLASSES]
-    result = LintResult()
-    parsed: dict[str, ModuleInfo] = {}
-
-    for path, source in modules:
-        display = normalize_path(path)
-        module = _parse_module(display, source)
-        parsed[display] = module
-        result.files_checked += 1
-        # Pragma hygiene (RPL000) applies everywhere, always.
-        for bad in module.pragmas.bad:
-            _route(result, module, config, "RPL000",
-                   (bad.line, bad.col, bad.message))
-        for rule in rules:
-            if not config.rule_applies(rule.code, display):
-                continue
-            for raw in rule.check(module):
-                _route(result, module, config, rule.code, raw)
-
-    # Whole-program passes (the RPL005 kind table).
-    for rule in rules:
-        for path, raw in rule.finish():
-            module = parsed.get(path)
-            if module is None or not config.rule_applies(rule.code, path):
-                continue
-            _route(result, module, config, rule.code, raw)
-
-    result.findings = sorted(set(result.findings))
-    result.suppressed = sorted(set(result.suppressed))
-    return result
+    analyses = [analyze_module(path, source, config)
+                for path, source in modules]
+    return finish_program(analyses, config)
 
 
 def lint_source(source: str, path: str = "repro/_inline.py",
@@ -155,23 +294,30 @@ def _expand(target: Path) -> list[Path]:
     return [target]
 
 
-def lint_paths(paths: Sequence[str | Path],
-               config: LintConfig | None = None) -> LintResult:
-    """Lint files and directories (directories recurse over ``*.py``)."""
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand lint targets into the sorted file list (dirs recurse)."""
     files: list[Path] = []
     for raw in paths:
         target = Path(raw)
         if not target.exists():
             raise LintError(f"lint target does not exist: {target}")
         files.extend(_expand(target))
+    return files
 
-    def read(path: Path) -> tuple[str, str]:
-        try:
-            return str(path), path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise LintError(f"cannot read {path}: {exc}") from exc
 
-    return lint_modules((read(path) for path in files), config=config)
+def read_source(path: Path) -> str:
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+
+
+def lint_paths(paths: Sequence[str | Path],
+               config: LintConfig | None = None) -> LintResult:
+    """Lint files and directories (directories recurse over ``*.py``)."""
+    files = discover_files(paths)
+    return lint_modules(((str(path), read_source(path)) for path in files),
+                        config=config)
 
 
 def default_target() -> Path:
@@ -183,10 +329,16 @@ def default_target() -> Path:
 
 __all__ = [
     "ALL_CODES",
+    "ENGINE_VERSION",
+    "FileAnalysis",
     "Finding",
     "LintResult",
+    "analyze_module",
     "default_target",
+    "discover_files",
+    "finish_program",
     "lint_modules",
     "lint_paths",
     "lint_source",
+    "read_source",
 ]

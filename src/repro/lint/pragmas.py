@@ -11,11 +11,13 @@ Two forms:
   codes for the entire file, wherever the comment appears
   (conventionally in the module docstring area).
 
-Codes may be followed by a free-text justification (``disable=RPL001 -
-operator-facing timing only``); the justification is ignored by the
-parser but required by review convention.  An unknown rule code — or a
-pragma that lists no codes at all — is itself a finding (RPL000): a
-typo'd pragma must never silently suppress nothing.
+Codes must be followed by a non-empty justification (``disable=RPL001 -
+operator-facing timing only``): suppressing a determinism-contract rule
+without saying *why* is itself a finding (RPL000), as is an unknown rule
+code or a pragma that lists no codes at all — a typo'd pragma must never
+silently suppress nothing.  The listed codes still suppress even when
+the justification is missing, so a hygiene slip surfaces exactly one
+RPL000 instead of doubling every finding it was covering.
 
 Comments are found with :mod:`tokenize`, not string scanning, so ``#``
 characters inside string literals can never be misread as pragmas.
@@ -34,9 +36,12 @@ from repro.lint.config import ALL_CODES
 _PRAGMA_RE = re.compile(
     r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*(?P<tail>.*)$")
 
-#: Leading comma-separated code tokens of the argument tail; anything
-#: after the last code (a justification) is ignored.
+#: Leading comma-separated code tokens of the argument tail; the
+#: remainder must be a ``- why`` justification.
 _CODES_RE = re.compile(r"^[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*")
+
+#: The required justification: a dash followed by non-whitespace text.
+_WHY_RE = re.compile(r"^-\s*\S")
 
 
 @dataclass
@@ -83,6 +88,11 @@ def collect_pragmas(source: str, known: frozenset[str] = ALL_CODES) -> Pragmas:
         for code in unknown:
             pragmas.bad.append(BadPragma(
                 line, col, f"unknown rule code {code!r} in reprolint pragma"))
+        why = match.group("tail").strip()[codes_match.end():].strip()
+        if not _WHY_RE.match(why):
+            pragmas.bad.append(BadPragma(
+                line, col, "reprolint pragma missing its '- why' "
+                "justification (suppressions must say why)"))
         valid = codes & known
         if not valid:
             continue

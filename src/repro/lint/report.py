@@ -4,6 +4,11 @@ Same house style as :mod:`repro.obs.export`: the JSON format is one
 schema line followed by one compact, key-sorted JSON object per finding,
 in the engine's global ``(path, line, col, code)`` order — two runs over
 the same tree produce byte-identical reports.
+
+Schema ``reprolint/2`` (the flow-analysis release): findings carry a
+``detail`` field (the RPL101/RPL103 call chain, empty otherwise) and
+the head reports the incremental-cache and baseline accounting
+(``files_reanalyzed``, ``baselined``, ``baseline_stale``).
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from repro.lint.config import RULE_SUMMARIES
 from repro.lint.engine import LintResult
 
 #: JSON report schema identifier, bumped on incompatible changes.
-JSON_SCHEMA = "reprolint/1"
+JSON_SCHEMA = "reprolint/2"
 
 
 def json_lines(result: LintResult) -> list[str]:
@@ -23,14 +28,17 @@ def json_lines(result: LintResult) -> list[str]:
     head = {
         "schema": JSON_SCHEMA,
         "files_checked": result.files_checked,
+        "files_reanalyzed": result.files_reanalyzed,
         "findings": len(result.findings),
         "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "baseline_stale": len(result.baseline_stale),
     }
     lines = [json.dumps(head, sort_keys=True, separators=(",", ":"))]
     for f in result.findings:
         lines.append(json.dumps(
             {"path": f.path, "line": f.line, "col": f.col,
-             "code": f.code, "message": f.message},
+             "code": f.code, "message": f.message, "detail": f.detail},
             sort_keys=True, separators=(",", ":")))
     return lines
 
@@ -39,17 +47,28 @@ def render_json(result: LintResult) -> str:
     return "\n".join(json_lines(result)) + "\n"
 
 
-def render_text(result: LintResult) -> str:
-    """The human report: one grep-able line per finding plus a summary."""
-    lines = [
-        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}"
-        for f in result.findings
-    ]
+def render_text(result: LintResult, explain: bool = False) -> str:
+    """The human report: one grep-able line per finding plus a summary.
+
+    With ``explain``, whole-program findings print their evidence (the
+    call chain) on an indented continuation line.
+    """
+    lines = []
+    for f in result.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}")
+        if explain and f.detail:
+            lines.append(f"    {f.detail}")
     noun = "finding" if len(result.findings) == 1 else "findings"
-    lines.append(
-        f"{len(result.findings)} {noun} "
-        f"({result.files_checked} files checked, "
-        f"{len(result.suppressed)} suppressed by pragmas)")
+    tail = (f"{len(result.findings)} {noun} "
+            f"({result.files_checked} files checked, "
+            f"{len(result.suppressed)} suppressed by pragmas")
+    if result.baselined or result.baseline_stale:
+        tail += (f", {len(result.baselined)} baselined, "
+                 f"{len(result.baseline_stale)} baseline entries stale")
+    lines.append(tail + ")")
+    for path, code, message in result.baseline_stale:
+        lines.append(f"stale baseline entry (fixed — delete its line): "
+                     f"{path}: {code} {message}")
     return "\n".join(lines) + "\n"
 
 

@@ -7,6 +7,14 @@ imports cannot dodge them: ``from time import time as now`` makes a bare
 purely syntactic — a name rebound by a later assignment will still
 resolve to its import, which errs on the side of flagging (a linter's
 correct bias) and costs nothing on this codebase.
+
+Beyond imports, the map tracks module-level *constructed constants*: a
+top-level ``_HEADER = struct.Struct("<qHH")`` binds ``_HEADER`` to the
+pseudo-qualname ``struct.Struct``, so ``_HEADER.unpack(...)`` resolves
+to ``struct.Struct.unpack`` and the exception-contract rule can see the
+decode through the constant.  The call-graph builder
+(:mod:`repro.lint.callgraph`) reuses the same map to turn per-file
+references into cross-module edges.
 """
 
 from __future__ import annotations
@@ -17,10 +25,11 @@ import ast
 class ImportMap:
     """Maps a module's local names to the dotted names they import."""
 
-    __slots__ = ("_names",)
+    __slots__ = ("_names", "_constructed")
 
     def __init__(self) -> None:
         self._names: dict[str, str] = {}
+        self._constructed: dict[str, str] = {}
 
     @classmethod
     def from_module(cls, tree: ast.Module) -> "ImportMap":
@@ -40,15 +49,67 @@ class ImportMap:
                         continue
                     local = alias.asname or alias.name
                     imports._names[local] = f"{module}.{alias.name}"
+        # Module-level constructed constants: ``NAME = <imported>(...)``
+        # rebinds NAME to the constructor's qualname, so attribute calls
+        # through the constant resolve (``_HEADER.unpack`` →
+        # ``struct.Struct.unpack``).  Only top-level statements count —
+        # locals shadow too unpredictably to be worth resolving.
+        for node in tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            ctor = imports.qualname(node.value.func)
+            if ctor is not None:
+                imports._constructed[node.targets[0].id] = ctor
         return imports
 
     def qualname(self, node: ast.expr) -> str | None:
-        """The dotted import-resolved name of an expression, if any."""
+        """The dotted import-resolved name of an expression, if any.
+
+        A constructed constant resolves only *through* attribute access
+        (``_HEADER.unpack`` → ``struct.Struct.unpack``): the bare name
+        is an instance, not the constructor, so it is never itself a
+        reference to the constructor's qualname.
+        """
         if isinstance(node, ast.Name):
             return self._names.get(node.id)
         if isinstance(node, ast.Attribute):
             base = self.qualname(node.value)
+            if base is None and isinstance(node.value, ast.Name):
+                base = self._constructed.get(node.value.id)
             if base is None:
                 return None
             return f"{base}.{node.attr}"
         return None
+
+    def bindings(self) -> dict[str, str]:
+        """A copy of the local-name → dotted-target table, constructed
+        constants included (for the call-graph builder's re-export and
+        constant resolution)."""
+        return {**self._constructed, **self._names}
+
+
+def absolutize(dotted: str, module: str, is_package: bool = False) -> str:
+    """Resolve a possibly-relative dotted name against ``module``.
+
+    ``ImportMap`` stores ``from .codec import decode`` targets with
+    their leading dots (``.codec.decode``); cross-module edges need the
+    absolute form (``repro.store.codec.decode``).  ``module`` is the
+    importing module's dotted name; ``is_package`` marks it as a package
+    ``__init__`` (one fewer level to strip).
+    """
+    if not dotted.startswith("."):
+        return dotted
+    level = len(dotted) - len(dotted.lstrip("."))
+    remainder = dotted.lstrip(".")
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[:-drop] if drop < len(parts) else []
+    base = ".".join(parts)
+    if not base:
+        return remainder
+    return f"{base}.{remainder}" if remainder else base

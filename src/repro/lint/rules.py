@@ -390,16 +390,27 @@ class MetricRule(Rule):
         return None
 
     def finish(self) -> Iterable[tuple[str, RawFinding]]:
-        canonical: dict[str, _MetricSite] = {}
-        for site in sorted(self._sites,
-                           key=lambda s: (s.path, s.line, s.col)):
-            first = canonical.setdefault(site.name, site)
-            if site.kind != first.kind:
-                yield (site.path, (
-                    site.line, site.col,
-                    f"metric {site.name!r} registered as a {site.kind} here "
-                    f"but as a {first.kind} at {first.path}:{first.line} — "
-                    f"one instrument kind per name"))
+        yield from metric_kind_conflicts(
+            [(s.path, s.line, s.col, s.name, s.kind) for s in self._sites])
+
+
+def metric_kind_conflicts(
+        sites: Iterable[tuple[str, int, int, str, str]],
+) -> Iterator[tuple[str, RawFinding]]:
+    """The RPL005 whole-program kind table over ``(path, line, col,
+    name, kind)`` sites — shared by the per-run rule instance and the
+    incremental engine, which rebuilds the table from cached
+    per-file sites."""
+    canonical: dict[str, tuple[str, int, int, str, str]] = {}
+    for site in sorted(sites):
+        path, line, col, name, kind = site
+        first = canonical.setdefault(name, site)
+        if kind != first[4]:
+            yield (path, (
+                line, col,
+                f"metric {name!r} registered as a {kind} here "
+                f"but as a {first[4]} at {first[0]}:{first[1]} — "
+                f"one instrument kind per name"))
 
 
 # ---------------------------------------------------------------------------

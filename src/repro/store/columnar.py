@@ -41,7 +41,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.avrank import AVRankSeries
-from repro.errors import CorruptRecordError
+from repro.errors import BlockAddressError, CorruptRecordError
 from repro.vt.clock import COLLECTION_MONTHS, MONTH_STARTS
 from repro.vt.reports import ScanReport
 
@@ -387,7 +387,7 @@ class ColumnarBatch:
     def report(self, slot: int) -> ScanReport:
         """Materialise one record as a :class:`ScanReport` (point lookup)."""
         if not 0 <= slot < len(self):
-            raise IndexError(f"no record at slot {slot}")
+            raise BlockAddressError(f"no record at slot {slot}")
         if not self.has_planes:
             raise CorruptRecordError(
                 "cannot materialise a report from a metadata-only batch")

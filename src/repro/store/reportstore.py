@@ -39,7 +39,12 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.errors import CorruptRecordError, ShardClosedError, UnknownSampleError
+from repro.errors import (
+    CorruptRecordError,
+    ShardClosedError,
+    StoreError,
+    UnknownSampleError,
+)
 from repro.obs import NULL_REGISTRY, traced
 from repro.store import codec, columnar
 from repro.store.cache import DEFAULT_CACHE_BYTES, BlockCache, CacheStats
@@ -742,73 +747,90 @@ class ReportStore:
             if use_mmap:
                 mapping = _mmap.mmap(fh.fileno(), 0,
                                      access=_mmap.ACCESS_READ)
-                reader = _MappedReader(mapping)
             else:
                 mapping = None
-                reader = fh
-            if reader.read(len(_FILE_MAGIC)) != _FILE_MAGIC:
-                raise CorruptRecordError(f"{path} is not a report store")
-            (header_len,) = struct.unpack("<I", reader.read(4))
-            header = json.loads(bytes(reader.read(header_len)).decode("utf-8"))
-            if header["version"] not in _SUPPORTED_VERSIONS:
-                raise CorruptRecordError(
-                    f"unsupported store version {header['version']}"
-                )
-            store = cls(block_records=header["block_records"],
-                        metrics=metrics,
-                        block_format=_FORMAT_OF_VERSION[header["version"]])
-            store._mmap = mapping
-            index_info = header.get("index")
-            index_payload = None
-            if index_info is not None:
-                if index_info["format"] != INDEX_FORMAT:
+            # Everything below parses attacker-shaped bytes: a truncated
+            # or damaged file must surface as CorruptRecordError (the
+            # store's exception contract) and must not leak the mapping.
+            try:
+                reader = _MappedReader(mapping) if mapping is not None else fh
+                if reader.read(len(_FILE_MAGIC)) != _FILE_MAGIC:
+                    raise CorruptRecordError(f"{path} is not a report store")
+                (header_len,) = struct.unpack("<I", reader.read(4))
+                header = json.loads(
+                    bytes(reader.read(header_len)).decode("utf-8"))
+                if header["version"] not in _SUPPORTED_VERSIONS:
                     raise CorruptRecordError(
-                        f"unsupported store index format "
-                        f"{index_info['format']}")
-                index_payload = reader.read(index_info["bytes"])
-                if len(index_payload) != index_info["bytes"]:
-                    raise CorruptRecordError("truncated store index")
-            counters = header.get("retrieval_counters")
-            if counters:
-                store._cache.hits = counters.get("hits", 0)
-                store._cache.misses = counters.get("misses", 0)
-                store._cache.evictions = counters.get("evictions", 0)
-                store._cache.invalidations = counters.get("invalidations", 0)
-                store._blocks_decoded = counters.get("blocks_decoded", 0)
-                store._open_reads = counters.get("open_reads", 0)
-                store._peak_stream_reports = counters.get(
-                    "peak_stream_reports", 0)
-            for _ in header["months"]:
-                month, n_blocks, report_count, verbose, encoded = struct.unpack(
-                    "<iIqqq", bytes(reader.read(struct.calcsize("<iIqqq")))
-                )
-                shard = MonthlyShard(month, block_records=store.block_records,
-                                     block_format=store.block_format)
-                for _ in range(n_blocks):
-                    size, record_count, raw = struct.unpack(
-                        "<IIq", bytes(reader.read(struct.calcsize("<IIq")))
+                        f"unsupported store version {header['version']}"
                     )
-                    payload = reader.read(size)
-                    if len(payload) != size:
-                        raise CorruptRecordError("truncated store file")
-                    shard.blocks.append(
-                        CompressedBlock(payload, record_count, raw)
-                    )
-                shard.report_count = report_count
-                shard.verbose_bytes = verbose
-                shard.encoded_bytes = encoded
-                shard.closed = not reopen
-                store.shards[month] = shard
-        if index_payload is not None:
-            index, meta = decode_index(bytes(index_payload))
-            store._index = index
-            store._sample_meta = meta
-            store._scan_index = {
-                sha: {entry[3] for entry in entries}
-                for sha, entries in index.items()
-            }
-        else:
-            store._index_ready = False
+                store = cls(block_records=header["block_records"],
+                            metrics=metrics,
+                            block_format=_FORMAT_OF_VERSION[header["version"]])
+                store._mmap = mapping
+                index_info = header.get("index")
+                index_payload = None
+                if index_info is not None:
+                    if index_info["format"] != INDEX_FORMAT:
+                        raise CorruptRecordError(
+                            f"unsupported store index format "
+                            f"{index_info['format']}")
+                    index_payload = reader.read(index_info["bytes"])
+                    if len(index_payload) != index_info["bytes"]:
+                        raise CorruptRecordError("truncated store index")
+                counters = header.get("retrieval_counters")
+                if counters:
+                    store._cache.hits = counters.get("hits", 0)
+                    store._cache.misses = counters.get("misses", 0)
+                    store._cache.evictions = counters.get("evictions", 0)
+                    store._cache.invalidations = counters.get(
+                        "invalidations", 0)
+                    store._blocks_decoded = counters.get("blocks_decoded", 0)
+                    store._open_reads = counters.get("open_reads", 0)
+                    store._peak_stream_reports = counters.get(
+                        "peak_stream_reports", 0)
+                for _ in header["months"]:
+                    month, n_blocks, report_count, verbose, encoded = \
+                        struct.unpack("<iIqqq", bytes(
+                            reader.read(struct.calcsize("<iIqqq"))))
+                    shard = MonthlyShard(month,
+                                         block_records=store.block_records,
+                                         block_format=store.block_format)
+                    for _ in range(n_blocks):
+                        size, record_count, raw = struct.unpack(
+                            "<IIq", bytes(reader.read(struct.calcsize("<IIq")))
+                        )
+                        payload = reader.read(size)
+                        if len(payload) != size:
+                            raise CorruptRecordError("truncated store file")
+                        shard.blocks.append(
+                            CompressedBlock(payload, record_count, raw)
+                        )
+                    shard.report_count = report_count
+                    shard.verbose_bytes = verbose
+                    shard.encoded_bytes = encoded
+                    shard.closed = not reopen
+                    store.shards[month] = shard
+                if index_payload is not None:
+                    index, meta = decode_index(bytes(index_payload))
+                    store._index = index
+                    store._sample_meta = meta
+                    store._scan_index = {
+                        sha: {entry[3] for entry in entries}
+                        for sha, entries in index.items()
+                    }
+                else:
+                    store._index_ready = False
+            except (StoreError, struct.error, ValueError, KeyError) as exc:
+                if mapping is not None:
+                    # Payloads decoded before the error are exported
+                    # views into the mapping; drop every frame-local
+                    # reference first or close() raises BufferError.
+                    reader = store = shard = payload = index_payload = None
+                    mapping.close()
+                if isinstance(exc, StoreError):
+                    raise
+                raise CorruptRecordError(
+                    f"{path} is damaged or truncated: {exc}") from exc
         store.closed = not reopen
         return store
 

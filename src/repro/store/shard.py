@@ -20,7 +20,11 @@ import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import CorruptRecordError, ShardClosedError
+from repro.errors import (
+    BlockAddressError,
+    CorruptRecordError,
+    ShardClosedError,
+)
 from repro.store import codec
 
 if TYPE_CHECKING:
@@ -239,7 +243,8 @@ class MonthlyShard:
             return self.blocks[block_idx].records()[slot]
         if block_idx == len(self.blocks) and slot < len(self._buffer):
             return self._buffer[slot]
-        raise IndexError(f"no record at block={block_idx} slot={slot}")
+        raise BlockAddressError(
+            f"no record at block={block_idx} slot={slot}")
 
     def block_records_at(self, block_idx: int) -> list[bytes]:
         """All records of one block (decompressing frozen blocks)."""
@@ -247,7 +252,7 @@ class MonthlyShard:
             return self.blocks[block_idx].records()
         if block_idx == len(self.blocks):
             return list(self._buffer)
-        raise IndexError(f"no block {block_idx}")
+        raise BlockAddressError(f"no block {block_idx}")
 
     def iter_records(self) -> Iterator[bytes]:
         """All records in ingest order."""

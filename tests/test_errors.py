@@ -25,6 +25,11 @@ class TestHierarchy:
         assert issubclass(errors.UnknownSampleError, KeyError)
         assert issubclass(errors.CorruptRecordError, errors.StoreError)
         assert issubclass(errors.ShardClosedError, errors.StoreError)
+        # Dual inheritance keeps positional-access callers' idiomatic
+        # `except IndexError` working while the store surface exports a
+        # ReproError (the RPL104 exception contract).
+        assert issubclass(errors.BlockAddressError, errors.StoreError)
+        assert issubclass(errors.BlockAddressError, IndexError)
 
     def test_analysis_errors(self):
         assert issubclass(errors.InsufficientDataError,

@@ -1,0 +1,181 @@
+"""Incremental cache and baseline tests (reprolint v2).
+
+The cache contract: warm runs re-analyze nothing, a one-file edit
+re-analyzes exactly that file, cached and cold results are identical,
+and any schema/fingerprint mismatch or file damage degrades to a cold
+run — never to wrong results.  ``--changed`` narrows *reporting* to the
+changed files' reverse-import cone while the whole-program pass still
+sees the full tree.  The baseline is shrink-only: entries that match
+nothing are reported stale.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    LintConfig,
+    apply_baseline,
+    lint_paths,
+    lint_paths_cached,
+    read_baseline,
+    write_baseline,
+)
+from repro.lint.cache import CACHE_SCHEMA
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A three-module tree: beta imports alpha; gamma stands alone.
+
+    beta and gamma each carry one wall-clock finding so per-file
+    results, cone filtering and baselines all have material to work on.
+    """
+    pkg = tmp_path / "src" / "repro" / "fix"
+    pkg.mkdir(parents=True)
+    (pkg / "alpha.py").write_text(textwrap.dedent("""
+        def base():
+            return 1
+    """), encoding="utf-8")
+    (pkg / "beta.py").write_text(textwrap.dedent("""
+        import time
+
+        from repro.fix.alpha import base
+
+        def mid():
+            return (base(), time.time())
+    """), encoding="utf-8")
+    (pkg / "gamma.py").write_text(textwrap.dedent("""
+        import time
+
+        def lone():
+            return time.time()
+    """), encoding="utf-8")
+    return pkg
+
+
+class TestCacheReuse:
+    def test_cold_then_warm(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        cold = lint_paths_cached([tree], cache)
+        assert cold.files_checked == 3
+        assert cold.files_reanalyzed == 3
+        warm = lint_paths_cached([tree], cache)
+        assert warm.files_checked == 3
+        assert warm.files_reanalyzed == 0
+        assert warm.findings == cold.findings
+        assert warm.suppressed == cold.suppressed
+
+    def test_warm_results_match_cacheless_run(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        lint_paths_cached([tree], cache)
+        warm = lint_paths_cached([tree], cache)
+        plain = lint_paths([tree])
+        assert warm.findings == plain.findings
+        assert warm.suppressed == plain.suppressed
+
+    def test_one_file_edit_reanalyzes_only_that_file(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        lint_paths_cached([tree], cache)
+        alpha = tree / "alpha.py"
+        alpha.write_text(alpha.read_text(encoding="utf-8") +
+                         "\n\ndef extra():\n    return 2\n",
+                         encoding="utf-8")
+        run = lint_paths_cached([tree], cache)
+        assert run.files_reanalyzed == 1
+
+    def test_cache_file_is_byte_deterministic(self, tree, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        lint_paths_cached([tree], a)
+        lint_paths_cached([tree], b)
+        assert a.read_bytes() == b.read_bytes()
+        head = a.read_text(encoding="utf-8").splitlines()[0]
+        assert CACHE_SCHEMA in head
+
+    def test_select_change_invalidates_fingerprint(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        lint_paths_cached([tree], cache)
+        narrowed = lint_paths_cached(
+            [tree], cache, config=LintConfig(select=frozenset({"RPL001"})))
+        assert narrowed.files_reanalyzed == 3
+        # And back: the narrowed run overwrote the fingerprint.
+        again = lint_paths_cached([tree], cache)
+        assert again.files_reanalyzed == 3
+
+    def test_damaged_cache_degrades_to_cold(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        lint_paths_cached([tree], cache)
+        cache.write_text("{not json\n", encoding="utf-8")
+        run = lint_paths_cached([tree], cache)
+        assert run.files_reanalyzed == 3
+        # The damaged file was rewritten; the next run is warm again.
+        assert lint_paths_cached([tree], cache).files_reanalyzed == 0
+
+
+class TestChangedOnly:
+    def test_changed_cone_filters_unrelated_findings(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        lint_paths_cached([tree], cache)
+        alpha = tree / "alpha.py"
+        alpha.write_text(alpha.read_text(encoding="utf-8") +
+                         "\n\ndef extra():\n    return 2\n",
+                         encoding="utf-8")
+        run = lint_paths_cached([tree], cache, changed_only=True)
+        # alpha changed; beta imports alpha and is in the cone, so its
+        # finding is reported.  gamma is unrelated and filtered out.
+        assert [f.path for f in run.findings] == ["repro/fix/beta.py"]
+        # The whole-program pass still checked everything.
+        assert run.files_checked == 3
+        assert run.files_reanalyzed == 1
+
+    def test_nothing_changed_reports_nothing(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        lint_paths_cached([tree], cache)
+        run = lint_paths_cached([tree], cache, changed_only=True)
+        assert run.files_reanalyzed == 0
+        assert run.findings == []
+
+
+class TestBaseline:
+    def test_write_then_apply_ratchets_findings(self, tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        result = lint_paths([tree])
+        assert len(result.findings) == 2
+        write_baseline(result, baseline)
+        entries = read_baseline(baseline)
+        assert len(entries) == 2
+        ratcheted = apply_baseline(lint_paths([tree]), entries)
+        assert ratcheted.findings == []
+        assert len(ratcheted.baselined) == 2
+        assert ratcheted.baseline_stale == []
+
+    def test_fixed_finding_turns_entry_stale(self, tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(lint_paths([tree]), baseline)
+        (tree / "gamma.py").write_text(
+            "def lone():\n    return 0\n", encoding="utf-8")
+        result = apply_baseline(lint_paths([tree]),
+                                read_baseline(baseline))
+        assert result.findings == []
+        assert len(result.baselined) == 1
+        assert [path for path, _, _ in result.baseline_stale] == \
+            ["repro/fix/gamma.py"]
+
+    def test_baseline_file_is_byte_deterministic(self, tree, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        write_baseline(lint_paths([tree]), a)
+        write_baseline(lint_paths([tree]), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_missing_baseline_is_an_error(self, tmp_path):
+        with pytest.raises(LintError):
+            read_baseline(tmp_path / "nope.json")
+
+    def test_wrong_schema_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema":"something-else/9"}\n', encoding="utf-8")
+        with pytest.raises(LintError):
+            read_baseline(bad)

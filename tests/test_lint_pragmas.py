@@ -29,7 +29,7 @@ class TestLinePragmas:
     def test_pragma_for_wrong_code_does_not_suppress(self):
         result = run("""
             import time
-            a = time.time()  # reprolint: disable=RPL002
+            a = time.time()  # reprolint: disable=RPL002 - wrong code on purpose
         """)
         assert [f.code for f in result.findings] == ["RPL001"]
         assert result.suppressed == []
@@ -38,7 +38,7 @@ class TestLinePragmas:
         result = run("""
             import time
             import uuid
-            pair = (time.time(), uuid.uuid4())  # reprolint: disable=RPL001,RPL003
+            pair = (time.time(), uuid.uuid4())  # reprolint: disable=RPL001,RPL003 - fixture pair
         """)
         assert result.findings == []
         assert len(result.suppressed) == 2
@@ -67,7 +67,7 @@ class TestScopePragmas:
         result = run("""
             import functools
             import time
-            @functools.lru_cache  # reprolint: disable=RPL001
+            @functools.lru_cache  # reprolint: disable=RPL001 - display only
             def banner():
                 return time.time()
         """)
@@ -77,7 +77,7 @@ class TestScopePragmas:
     def test_class_scope_pragma(self):
         result = run("""
             import time
-            class Wall:  # reprolint: disable=RPL001
+            class Wall:  # reprolint: disable=RPL001 - wall-clock wrapper fixture
                 def read(self):
                     return time.time()
         """)
@@ -86,7 +86,7 @@ class TestScopePragmas:
     def test_scope_pragma_does_not_leak_outside(self):
         result = run("""
             import time
-            def banner():  # reprolint: disable=RPL001
+            def banner():  # reprolint: disable=RPL001 - display only
                 return time.time()
             after = time.time()
         """)
@@ -108,7 +108,7 @@ class TestFilePragmas:
 
     def test_file_level_pragma_is_code_scoped(self):
         result = run("""
-            # reprolint: disable-file=RPL001
+            # reprolint: disable-file=RPL001 - legacy shim fixture
             import time
             import uuid
             a = time.time()
@@ -117,11 +117,47 @@ class TestFilePragmas:
         assert [f.code for f in result.findings] == ["RPL003"]
 
 
+class TestJustificationRequired:
+    def test_missing_why_is_a_finding_but_still_suppresses(self):
+        result = run("""
+            import time
+            a = time.time()  # reprolint: disable=RPL001
+        """)
+        assert [f.code for f in result.findings] == ["RPL000"]
+        assert "justification" in result.findings[0].message
+        # The listed code still suppresses: one hygiene finding, not a
+        # doubled report of everything the pragma was covering.
+        assert [f.code for f in result.suppressed] == ["RPL001"]
+
+    def test_empty_dash_justification_is_a_finding(self):
+        result = run("""
+            import time
+            a = time.time()  # reprolint: disable=RPL001 -
+        """)
+        assert [f.code for f in result.findings] == ["RPL000"]
+
+    def test_file_level_pragma_requires_why_too(self):
+        result = run("""
+            # reprolint: disable-file=RPL001
+            import time
+            a = time.time()
+        """)
+        assert [f.code for f in result.findings] == ["RPL000"]
+        assert [f.code for f in result.suppressed] == ["RPL001"]
+
+    def test_flow_code_pragma_with_why_is_clean(self):
+        result = run("""
+            import time
+            a = time.time()  # reprolint: disable=RPL001 - operator display
+        """)
+        assert result.findings == []
+
+
 class TestBadPragmas:
     def test_unknown_code_is_a_finding(self):
         result = run("""
             import time
-            a = time.time()  # reprolint: disable=RPL999
+            a = time.time()  # reprolint: disable=RPL999 - no such rule
         """)
         assert sorted(f.code for f in result.findings) == ["RPL000", "RPL001"]
         rpl000 = next(f for f in result.findings if f.code == "RPL000")
@@ -135,7 +171,7 @@ class TestBadPragmas:
 
     def test_rpl000_cannot_be_pragmad_away(self):
         result = run("""
-            x = 1  # reprolint: disable=BOGUS,RPL000
+            x = 1  # reprolint: disable=BOGUS,RPL000 - hygiene fixture
         """)
         assert [f.code for f in result.findings] == ["RPL000"]
 
@@ -150,14 +186,14 @@ class TestBadPragmas:
 class TestCollectPragmas:
     def test_collect_reports_lines_and_codes(self):
         pragmas = collect_pragmas(textwrap.dedent("""
-            # reprolint: disable-file=RPL003
-            a = 1  # reprolint: disable=RPL001, RPL004
+            # reprolint: disable-file=RPL003 - fixture
+            a = 1  # reprolint: disable=RPL001, RPL004 - fixture
         """))
         assert pragmas.file_level == {"RPL003"}
         assert pragmas.by_line[3] == {"RPL001", "RPL004"}
         assert pragmas.bad == []
 
     def test_collect_flags_unknown_codes(self):
-        pragmas = collect_pragmas("a = 1  # reprolint: disable=NOPE\n")
+        pragmas = collect_pragmas("a = 1  # reprolint: disable=NOPE - why\n")
         assert len(pragmas.bad) == 1
         assert pragmas.bad[0].line == 1

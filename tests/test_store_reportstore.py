@@ -314,6 +314,47 @@ class TestPersistence:
         with pytest.raises(CorruptRecordError):
             ReportStore.load(path)
 
+    def test_truncated_file_raises_corrupt_record_error(self, store,
+                                                        tmp_path):
+        # Wherever the cut lands — magic, header, shard table, block
+        # payload, index — the decode error crossing the store boundary
+        # is CorruptRecordError, never raw struct.error/ValueError.
+        _fill(store)
+        path = tmp_path / "trunc.store"
+        store.save(path)
+        blob = path.read_bytes()
+        for cut in (3, 9, len(blob) // 3, len(blob) // 2, len(blob) - 3):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(CorruptRecordError):
+                ReportStore.load(path)
+
+    def test_corrupt_mmap_load_releases_the_mapping(self, store, tmp_path,
+                                                    monkeypatch):
+        from repro.store import reportstore as rs
+
+        _fill(store)
+        path = tmp_path / "trunc.store"
+        store.save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+
+        real = rs._mmap
+        created = []
+
+        class _Shim:
+            ACCESS_READ = real.ACCESS_READ
+
+            @staticmethod
+            def mmap(fileno, length, access=None):
+                mapping = real.mmap(fileno, length, access=access)
+                created.append(mapping)
+                return mapping
+
+        monkeypatch.setattr(rs, "_mmap", _Shim())
+        with pytest.raises(CorruptRecordError):
+            ReportStore.load(path, use_mmap=True)
+        assert created and all(m.closed for m in created)
+
     def test_save_preserves_accounting(self, store, tmp_path):
         _fill(store, n_samples=6)
         path = tmp_path / "acct.store"
